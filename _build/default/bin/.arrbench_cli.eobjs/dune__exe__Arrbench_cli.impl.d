@@ -1,0 +1,1 @@
+bin/arrbench_cli.ml: Arg Arrbench Cmd Cmdliner List Locks Printf Rlk_workloads Runner String Term

@@ -1,0 +1,1 @@
+bin/arrbench_cli.mli:

@@ -1,0 +1,1 @@
+bin/fileio_cli.ml: Arg Cmd Cmdliner Fileio List Locks Printf Rlk Rlk_baselines Rlk_workloads Runner String Term

@@ -1,0 +1,1 @@
+bin/fileio_cli.mli:

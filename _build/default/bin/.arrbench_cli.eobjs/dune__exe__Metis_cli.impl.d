@@ -1,0 +1,1 @@
+bin/metis_cli.ml: Arg Cmd Cmdliner Format List Metis Printf Rlk_primitives Rlk_vm Rlk_workloads Runner String Term

@@ -1,0 +1,1 @@
+bin/metis_cli.mli:

@@ -1,0 +1,1 @@
+bin/skiplist_cli.ml: Arg Cmd Cmdliner List Locks Printf Rlk_workloads Runner String Synchro Term

@@ -1,0 +1,1 @@
+bin/skiplist_cli.mli:

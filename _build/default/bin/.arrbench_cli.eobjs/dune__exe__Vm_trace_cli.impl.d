@@ -1,0 +1,1 @@
+bin/vm_trace_cli.ml: Arg Array Cmd Cmdliner Domain Format List Mm Printf Rlk_primitives Rlk_vm Rlk_workloads String Sync Term Trace

@@ -1,0 +1,1 @@
+bin/vm_trace_cli.mli:

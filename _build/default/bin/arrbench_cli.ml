@@ -1,0 +1,61 @@
+(* Standalone ArrBench runner: one (lock, variant, mix, threads) point per
+   invocation — the unit the paper's Figure 3 sweeps over.
+
+   e.g. dune exec bin/arrbench_cli.exe -- --lock list-rw --variant random \
+          --threads 4 --reads 60 --duration 1.0 *)
+
+open Cmdliner
+open Rlk_workloads
+
+let run lock_name variant_name threads reads duration check =
+  Runner.init ();
+  match Locks.find_arrbench_lock lock_name, Arrbench.variant_of_name variant_name with
+  | None, _ ->
+    Printf.eprintf "unknown lock %S; available: %s\n" lock_name
+      (String.concat ", " (List.map fst Locks.arrbench_locks));
+    1
+  | _, None ->
+    Printf.eprintf "unknown variant %S; available: full, disjoint, random\n"
+      variant_name;
+    1
+  | Some lock, Some variant ->
+    let report (r : Runner.result) =
+      Printf.printf
+        "arrbench lock=%s variant=%s threads=%d reads=%d%%: %.0f ops/sec \
+         (%d ops in %.2fs)\n"
+        lock_name variant_name threads reads r.Runner.throughput
+        r.Runner.total_ops r.Runner.elapsed_s;
+      0
+    in
+    if check then
+      match
+        Arrbench.self_check ~lock ~variant ~threads ~read_pct:reads
+          ~duration_s:duration
+      with
+      | Ok r -> report r
+      | Error msg ->
+        Printf.eprintf "CHECK FAILED: %s\n" msg;
+        1
+    else
+      report (Arrbench.run ~lock ~variant ~threads ~read_pct:reads ~duration_s:duration)
+
+let cmd =
+  let lock =
+    Arg.(value & opt string "list-rw" & info [ "lock" ] ~doc:"Lock variant.")
+  in
+  let variant =
+    Arg.(value & opt string "random" & info [ "variant" ] ~doc:"Range pattern.")
+  in
+  let threads = Arg.(value & opt int 4 & info [ "threads"; "t" ] ~doc:"Domains.") in
+  let reads = Arg.(value & opt int 100 & info [ "reads" ] ~doc:"Read percentage.") in
+  let duration =
+    Arg.(value & opt float 1.0 & info [ "duration"; "d" ] ~doc:"Seconds.")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ] ~doc:"Verify exclusion while running.")
+  in
+  Cmd.v
+    (Cmd.info "arrbench" ~doc:"ArrBench microbenchmark (paper Figure 3)")
+    Term.(const run $ lock $ variant $ threads $ reads $ duration $ check)
+
+let () = exit (Cmd.eval' cmd)

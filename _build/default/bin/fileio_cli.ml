@@ -1,0 +1,58 @@
+(* Standalone shared-file I/O benchmark point (the pNOVA scenario): random
+   record-run reads/writes over one file under a chosen range lock, with
+   torn-record checking always on.
+
+   e.g. dune exec bin/fileio_cli.exe -- --lock list-rw --threads 4 --reads 50 *)
+
+open Cmdliner
+open Rlk_workloads
+
+let run lock_name threads reads records duration =
+  Runner.init ();
+  let lock =
+    match lock_name with
+    | "pnova-rw" ->
+      (* pNOVA's file configuration: 4 KiB segments over the whole file. *)
+      Some
+        (Rlk_baselines.Segment_rw.impl
+           ~segments:(max 1 (records * 256 / 4096))
+           ~segment_size:4096)
+    | "stock" -> Some (module Rlk_baselines.Single_rwsem : Rlk.Intf.RW)
+    | name -> Locks.find_arrbench_lock name
+  in
+  match lock with
+  | None ->
+    Printf.eprintf "unknown lock %S; available: %s, stock\n" lock_name
+      (String.concat ", " (List.map fst Locks.arrbench_locks));
+    1
+  | Some lock -> (
+    match
+      Fileio.run ~lock ~threads ~read_pct:reads ~file_records:records
+        ~duration_s:duration ()
+    with
+    | Ok r ->
+      Printf.printf
+        "fileio lock=%s threads=%d reads=%d%% records=%d: %.0f record-ops/sec \
+         (%d ops in %.2fs), no torn records\n"
+        lock_name threads reads records r.Runner.throughput r.Runner.total_ops
+        r.Runner.elapsed_s;
+      0
+    | Error msg ->
+      Printf.eprintf "CONSISTENCY FAILURE: %s\n" msg;
+      1)
+
+let cmd =
+  let lock = Arg.(value & opt string "list-rw" & info [ "lock" ] ~doc:"Lock.") in
+  let threads = Arg.(value & opt int 4 & info [ "threads"; "t" ] ~doc:"Domains.") in
+  let reads = Arg.(value & opt int 90 & info [ "reads" ] ~doc:"Read percentage.") in
+  let records =
+    Arg.(value & opt int 4_096 & info [ "records" ] ~doc:"File size in 256-byte records.")
+  in
+  let duration =
+    Arg.(value & opt float 1.0 & info [ "duration"; "d" ] ~doc:"Seconds.")
+  in
+  Cmd.v
+    (Cmd.info "fileio" ~doc:"Shared-file I/O benchmark (pNOVA scenario)")
+    Term.(const run $ lock $ threads $ reads $ records $ duration)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,76 @@
+(* Standalone Metis-like workload runner against the VM simulator: one
+   (workload, sync-variant, threads) point per invocation — the unit of the
+   paper's Figures 5-8.
+
+   e.g. dune exec bin/metis_cli.exe -- --workload wrmem --sync list-refined \
+          --threads 4 --tasks 4000 *)
+
+open Cmdliner
+open Rlk_workloads
+
+let print_point workload sync_name threads (r : Metis.result) =
+  let st = r.Metis.op_stats in
+  Printf.printf "metis %s sync=%s threads=%d tasks=%d\n" workload sync_name
+    threads r.Metis.tasks;
+  Printf.printf "  runtime: %.3f s\n" r.Metis.runtime_s;
+  Printf.printf "  faults=%d mmaps=%d munmaps=%d mprotects=%d\n"
+    st.Rlk_vm.Sync.faults st.Rlk_vm.Sync.mmaps st.Rlk_vm.Sync.munmaps
+    st.Rlk_vm.Sync.mprotects;
+  if st.Rlk_vm.Sync.mprotects > 0 then
+    Printf.printf "  speculative: %d (%.1f%%), fallbacks: %d, retries: %d\n"
+      st.Rlk_vm.Sync.spec_success
+      (100.0
+       *. float_of_int st.Rlk_vm.Sync.spec_success
+       /. float_of_int st.Rlk_vm.Sync.mprotects)
+      st.Rlk_vm.Sync.structural_fallbacks st.Rlk_vm.Sync.spec_retries;
+  Printf.printf "  lock wait: %s\n"
+    (Format.asprintf "%a" Rlk_primitives.Lockstat.pp_snapshot r.Metis.lock_wait);
+  let spin = r.Metis.spin_wait in
+  if spin.Rlk_primitives.Lockstat.write_count > 0 then
+    Printf.printf "  tree spin-lock wait: %s\n"
+      (Format.asprintf "%a" Rlk_primitives.Lockstat.pp_snapshot spin)
+
+let run workload sync_name threads tasks sweep =
+  Runner.init ();
+  match Metis.profile_of_name workload, Rlk_vm.Sync.variant_of_name sync_name with
+  | None, _ ->
+    Printf.eprintf "unknown workload %S; available: wc, wr, wrmem\n" workload;
+    1
+  | _, None ->
+    Printf.eprintf "unknown sync variant %S; available: %s\n" sync_name
+      (String.concat ", "
+         (List.map Rlk_vm.Sync.variant_name Rlk_vm.Sync.all_variants));
+    1
+  | Some profile, Some variant ->
+    if sweep then begin
+      (* One row per thread count, like a single column of Figure 5. *)
+      Printf.printf "threads  runtime_s\n";
+      List.iter
+        (fun n ->
+           let r = Metis.run ~variant ~profile ~threads:n ~tasks in
+           Printf.printf "%7d  %9.3f\n%!" n r.Metis.runtime_s)
+        (Runner.pin_thread_counts ~max:threads)
+    end
+    else
+      print_point workload sync_name threads
+        (Metis.run ~variant ~profile ~threads ~tasks);
+    0
+
+let cmd =
+  let workload =
+    Arg.(value & opt string "wrmem" & info [ "workload"; "w" ] ~doc:"Profile.")
+  in
+  let sync =
+    Arg.(value & opt string "list-refined" & info [ "sync"; "s" ] ~doc:"Sync variant.")
+  in
+  let threads = Arg.(value & opt int 4 & info [ "threads"; "t" ] ~doc:"Domains.") in
+  let tasks = Arg.(value & opt int 4_000 & info [ "tasks" ] ~doc:"Total map tasks.") in
+  let sweep =
+    Arg.(value & flag & info [ "sweep" ]
+           ~doc:"Sweep thread counts from 1 up to --threads and print a table.")
+  in
+  Cmd.v
+    (Cmd.info "metis" ~doc:"Metis-like VM workloads (paper Figures 5-8)")
+    Term.(const run $ workload $ sync $ threads $ tasks $ sweep)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,47 @@
+(* Standalone Synchrobench-style skip-list benchmark: one (set, threads)
+   point per invocation — the unit of the paper's Figure 4.
+
+   e.g. dune exec bin/skiplist_cli.exe -- --set range-list --threads 4 \
+          --range 262144 --updates 20 --duration 1.0 *)
+
+open Cmdliner
+open Rlk_workloads
+
+let run set_name threads key_range updates duration =
+  Runner.init ();
+  match Locks.find_skiplist_set set_name with
+  | None ->
+    Printf.eprintf "unknown set %S; available: %s\n" set_name
+      (String.concat ", " (List.map fst Locks.skiplist_sets));
+    1
+  | Some set ->
+    let r =
+      Synchro.run ~set ~threads ~key_range ~update_pct:updates
+        ~duration_s:duration ()
+    in
+    Printf.printf
+      "skiplist set=%s threads=%d range=%d updates=%d%%: %.0f ops/sec (%d ops \
+       in %.2fs)\n"
+      set_name threads key_range updates r.Runner.throughput r.Runner.total_ops
+      r.Runner.elapsed_s;
+    0
+
+let cmd =
+  let set =
+    Arg.(value & opt string "range-list" & info [ "set" ] ~doc:"Implementation.")
+  in
+  let threads = Arg.(value & opt int 4 & info [ "threads"; "t" ] ~doc:"Domains.") in
+  let range =
+    Arg.(value & opt int 262_144 & info [ "range" ] ~doc:"Key range (half prefilled).")
+  in
+  let updates =
+    Arg.(value & opt int 20 & info [ "updates" ] ~doc:"Update percentage.")
+  in
+  let duration =
+    Arg.(value & opt float 1.0 & info [ "duration"; "d" ] ~doc:"Seconds.")
+  in
+  Cmd.v
+    (Cmd.info "skiplist" ~doc:"Skip-list set benchmark (paper Figure 4)")
+    Term.(const run $ set $ threads $ range $ updates $ duration)
+
+let () = exit (Cmd.eval' cmd)

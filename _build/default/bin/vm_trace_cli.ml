@@ -1,0 +1,99 @@
+(* Replay a textual VM-operation trace against a chosen synchronization
+   variant, optionally across several domains (ops dealt round-robin), or
+   generate a random trace to stdout.
+
+   e.g. dune exec bin/vm_trace_cli.exe -- --generate 200 --seed 7 > t.trace
+        dune exec bin/vm_trace_cli.exe -- --sync list-refined --threads 4 t.trace *)
+
+open Cmdliner
+open Rlk_vm
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run sync_name threads generate seed trace_file =
+  Rlk_workloads.Runner.init ();
+  match generate with
+  | Some ops ->
+    List.iter
+      (fun op -> Format.printf "%a@." Trace.pp_op op)
+      (Trace.generate ~seed ~ops);
+    0
+  | None -> (
+    match trace_file with
+    | None ->
+      prerr_endline "need a trace file (or --generate N)";
+      1
+    | Some path -> (
+      match Sync.variant_of_name sync_name with
+      | None ->
+        Printf.eprintf "unknown sync variant %S; available: %s\n" sync_name
+          (String.concat ", " (List.map Sync.variant_name Sync.all_variants));
+        1
+      | Some variant -> (
+        match Trace.parse (read_file path) with
+        | Error msg ->
+          Printf.eprintf "parse error: %s\n" msg;
+          1
+        | Ok ops ->
+          let sync = Sync.create variant in
+          let t0 = Rlk_primitives.Clock.now_ns () in
+          let totals =
+            if threads <= 1 then Trace.replay sync ops
+            else begin
+              (* Deal operations round-robin across domains. *)
+              let shards = Array.make threads [] in
+              List.iteri
+                (fun i op -> shards.(i mod threads) <- op :: shards.(i mod threads))
+                ops;
+              let ds =
+                Array.map
+                  (fun shard ->
+                     let shard = List.rev shard in
+                     Domain.spawn (fun () -> Trace.replay sync shard))
+                  shards
+              in
+              Array.fold_left
+                (fun acc d ->
+                   let s = Domain.join d in
+                   { Trace.executed = acc.Trace.executed + s.Trace.executed;
+                     failed = acc.Trace.failed + s.Trace.failed;
+                     segvs = acc.Trace.segvs + s.Trace.segvs })
+                { Trace.executed = 0; failed = 0; segvs = 0 }
+                ds
+            end
+          in
+          let dt = Rlk_primitives.Clock.ns_to_s (Rlk_primitives.Clock.now_ns () - t0) in
+          Printf.printf "replayed %d ops in %.3f s under %s (%d threads)\n"
+            (List.length ops) dt sync_name threads;
+          Printf.printf "  ok=%d errno-failures=%d segvs=%d\n" totals.Trace.executed
+            totals.Trace.failed totals.Trace.segvs;
+          (match Mm.check_invariants (Sync.mm sync) with
+           | Ok () ->
+             Printf.printf "  final address space: %d VMAs, invariants hold\n"
+               (Mm.vma_count (Sync.mm sync));
+             0
+           | Error m ->
+             Printf.printf "  INVARIANT VIOLATION: %s\n" m;
+             1))))
+
+let cmd =
+  let sync =
+    Arg.(value & opt string "list-refined" & info [ "sync"; "s" ] ~doc:"Sync variant.")
+  in
+  let threads = Arg.(value & opt int 1 & info [ "threads"; "t" ] ~doc:"Domains.") in
+  let generate =
+    Arg.(value & opt (some int) None & info [ "generate"; "g" ]
+           ~doc:"Emit a random trace of N operations to stdout instead of replaying.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.") in
+  let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"TRACE") in
+  Cmd.v
+    (Cmd.info "vm-trace" ~doc:"Replay or generate VM-operation traces")
+    Term.(const run $ sync $ threads $ generate $ seed $ file)
+
+let () = exit (Cmd.eval' cmd)

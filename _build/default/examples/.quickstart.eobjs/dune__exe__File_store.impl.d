@@ -1,0 +1,1 @@
+examples/file_store.ml: Array Bytes Char Domain Format Printf Prng Rlk Rlk_primitives

@@ -1,0 +1,1 @@
+examples/skiplist_demo.ml: Array Domain Printf Rlk_primitives Rlk_skiplist Unix

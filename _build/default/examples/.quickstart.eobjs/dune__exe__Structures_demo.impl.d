@@ -1,0 +1,1 @@
+examples/structures_demo.ml: Array Atomic Domain Printf Rlk Rlk_primitives Rlk_structures Unix

@@ -1,0 +1,1 @@
+examples/structures_demo.mli:

@@ -1,0 +1,1 @@
+examples/vm_demo.ml: Array Domain Format Glibc_arena Mm Mm_ops Page Printf Prot Rlk_vm Sync Sys

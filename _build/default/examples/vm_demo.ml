@@ -1,0 +1,63 @@
+(* The paper's headline application: scaling virtual-memory operations with
+   refined range locks and speculative mprotect (Section 5).
+
+   This demo builds a simulated address space under the [list-refined]
+   policy, drives a GLIBC-style arena through expand/shrink cycles from
+   several domains at once, and prints how many mprotect calls completed on
+   the speculative (refined-range) path versus falling back to the
+   full-range lock.
+
+   Run with: dune exec examples/vm_demo.exe *)
+
+open Rlk_vm
+
+let pg = Page.size
+
+let ok what = function
+  | Ok v -> v
+  | Error e -> failwith (Format.asprintf "%s failed: %a" what Mm_ops.pp_error e)
+
+let () =
+  let sync = Sync.create Sync.List_refined in
+
+  (* A worker behaves like a malloc-heavy thread: allocate, write, free. *)
+  let worker id =
+    let arena =
+      ok "arena create"
+        (Glibc_arena.create sync ~size:(1024 * pg) ~trim_threshold:(16 * pg) ())
+    in
+    for round = 1 to 200 do
+      for _ = 1 to 10 do
+        let addr = ok "malloc" (Glibc_arena.malloc_touched arena (3 * pg / 2)) in
+        ignore (Sys.opaque_identity (addr + id))
+      done;
+      if round mod 5 = 0 then ok "reset" (Glibc_arena.reset arena)
+    done;
+    ok "destroy" (Glibc_arena.destroy arena)
+  in
+  let ds = Array.init 4 (fun id -> Domain.spawn (fun () -> worker id)) in
+  Array.iter Domain.join ds;
+
+  let st = Sync.op_stats sync in
+  Printf.printf "VM demo under %s:\n" (Sync.variant_name (Sync.variant sync));
+  Printf.printf "  page faults handled:     %d\n" st.Sync.faults;
+  Printf.printf "  mmap / munmap:           %d / %d\n" st.Sync.mmaps st.Sync.munmaps;
+  Printf.printf "  mprotect calls:          %d\n" st.Sync.mprotects;
+  Printf.printf "  ... speculative path:    %d (%.1f%%)\n" st.Sync.spec_success
+    (100.0 *. float_of_int st.Sync.spec_success /. float_of_int st.Sync.mprotects);
+  Printf.printf "  ... full-lock fallbacks: %d\n" st.Sync.structural_fallbacks;
+  Printf.printf "  ... validation retries:  %d\n" st.Sync.spec_retries;
+
+  (* Show Figure 2 concretely: a boundary shift between two VMAs. *)
+  let a = ok "mmap" (Sync.mmap sync ~len:(8 * pg) ~prot:Prot.none ()) in
+  ok "first commit" (Sync.mprotect sync ~addr:a ~len:(2 * pg) ~prot:Prot.read_write);
+  let before = Mm.vma_count (Sync.mm sync) in
+  ok "expand" (Sync.mprotect sync ~addr:(a + 2 * pg) ~len:pg ~prot:Prot.read_write);
+  let after = Mm.vma_count (Sync.mm sync) in
+  Printf.printf
+    "figure-2 boundary shift: VMA count %d -> %d (unchanged: no mm_rb edit)\n"
+    before after;
+  (match Mm.check_invariants (Sync.mm sync) with
+   | Ok () -> print_endline "address space invariants hold."
+   | Error m -> failwith m);
+  print_endline "vm demo done."

@@ -1,0 +1,1 @@
+lib/baselines/blocking_lock.ml: Atomic Backoff Clock Lockstat Rlk Rlk_primitives Spinlock Ticketlock

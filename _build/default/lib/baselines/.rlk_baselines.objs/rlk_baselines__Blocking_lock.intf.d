@@ -1,0 +1,1 @@
+lib/baselines/blocking_lock.mli: Rlk Rlk_primitives

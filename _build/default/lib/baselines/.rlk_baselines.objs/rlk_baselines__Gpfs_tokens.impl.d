@@ -1,0 +1,1 @@
+lib/baselines/gpfs_tokens.ml: Array Backoff Clock Domain_id List Lockstat Padded_counters Rlk Rlk_primitives Spinlock

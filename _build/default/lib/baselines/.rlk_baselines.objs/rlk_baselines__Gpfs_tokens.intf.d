@@ -1,0 +1,1 @@
+lib/baselines/gpfs_tokens.mli: Rlk Rlk_primitives

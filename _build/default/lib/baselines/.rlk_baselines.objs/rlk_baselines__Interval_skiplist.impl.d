@@ -1,0 +1,1 @@
+lib/baselines/interval_skiplist.ml: Array List Printf Rlk_primitives

@@ -1,0 +1,1 @@
+lib/baselines/interval_skiplist.mli:

@@ -1,0 +1,1 @@
+lib/baselines/segment_rw.ml: Array Clock Lockstat Rlk Rlk_primitives Rwlock

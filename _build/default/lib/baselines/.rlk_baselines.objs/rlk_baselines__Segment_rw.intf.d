@@ -1,0 +1,1 @@
+lib/baselines/segment_rw.mli: Rlk Rlk_primitives

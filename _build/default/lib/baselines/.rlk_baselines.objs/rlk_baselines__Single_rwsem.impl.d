@@ -1,0 +1,1 @@
+lib/baselines/single_rwsem.ml: Rlk Rlk_primitives Rwsem

@@ -1,0 +1,1 @@
+lib/baselines/single_rwsem.mli: Rlk Rlk_primitives

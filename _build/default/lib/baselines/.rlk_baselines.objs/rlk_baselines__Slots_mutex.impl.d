@@ -1,0 +1,1 @@
+lib/baselines/slots_mutex.ml: Array Atomic Backoff Clock Domain_id Lockstat Padded_counters Rlk Rlk_primitives

@@ -1,0 +1,1 @@
+lib/baselines/slots_mutex.mli: Rlk Rlk_primitives

@@ -1,0 +1,1 @@
+lib/baselines/tree_lock.ml: Blocking_lock Rlk_rbtree

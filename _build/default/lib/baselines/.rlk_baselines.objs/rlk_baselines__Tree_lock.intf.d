@@ -1,0 +1,1 @@
+lib/baselines/tree_lock.mli: Rlk Rlk_primitives

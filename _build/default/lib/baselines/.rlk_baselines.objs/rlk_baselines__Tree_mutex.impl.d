@@ -1,0 +1,1 @@
+lib/baselines/tree_mutex.ml: Tree_lock

@@ -1,0 +1,1 @@
+lib/baselines/tree_mutex.mli: Rlk Rlk_primitives Tree_lock

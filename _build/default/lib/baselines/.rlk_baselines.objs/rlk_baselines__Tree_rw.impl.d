@@ -1,0 +1,1 @@
+lib/baselines/tree_rw.ml: Tree_lock

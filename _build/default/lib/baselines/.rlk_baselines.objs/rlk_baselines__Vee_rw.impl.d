@@ -1,0 +1,1 @@
+lib/baselines/vee_rw.ml: Blocking_lock Interval_skiplist

@@ -1,0 +1,1 @@
+lib/baselines/vee_rw.mli: Rlk Rlk_primitives

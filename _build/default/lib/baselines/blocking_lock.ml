@@ -1,0 +1,129 @@
+open Rlk_primitives
+
+module type INDEX = sig
+  type 'a t
+
+  type 'a node
+
+  val create : unit -> 'a t
+
+  val size : 'a t -> int
+
+  val insert : 'a t -> lo:int -> hi:int -> 'a -> 'a node
+
+  val remove : 'a t -> 'a node -> unit
+
+  val lo : 'a node -> int
+
+  val hi : 'a node -> int
+
+  val data : 'a node -> 'a
+
+  val iter_overlaps : 'a t -> lo:int -> hi:int -> ('a node -> unit) -> unit
+
+  val count_overlaps : 'a t -> lo:int -> hi:int -> ('a node -> bool) -> int
+end
+
+type guard_kind = Ttas | Ticket
+
+module Make (It : INDEX) = struct
+  type data = { reader : bool; blocked : int Atomic.t }
+
+  type guard = Guard_ttas of Spinlock.t | Guard_ticket of Ticketlock.t
+
+  type t = {
+    guard : guard;
+    tree : data It.t;
+    stats : Lockstat.t option;
+  }
+
+  type handle = data It.node
+
+  let create ?stats ?spin_stats ?(guard = Ttas) () =
+    let guard =
+      match guard with
+      | Ttas -> Guard_ttas (Spinlock.create ?stats:spin_stats ())
+      | Ticket -> Guard_ticket (Ticketlock.create ?stats:spin_stats ())
+    in
+    { guard; tree = It.create (); stats }
+
+  let guard_acquire t =
+    match t.guard with
+    | Guard_ttas l -> Spinlock.acquire l
+    | Guard_ticket l -> Ticketlock.acquire l
+
+  let guard_release t =
+    match t.guard with
+    | Guard_ttas l -> Spinlock.release l
+    | Guard_ticket l -> Ticketlock.release l
+
+  let conflicts ~reader other = (not reader) || not other.reader
+
+  let mode_of reader = if reader then Lockstat.Read else Lockstat.Write
+
+  let insert_counting t ~reader r =
+    let lo = Rlk.Range.lo r and hi = Rlk.Range.hi r in
+    let data = { reader; blocked = Atomic.make 0 } in
+    guard_acquire t;
+    let blocked =
+      It.count_overlaps t.tree ~lo ~hi (fun n -> conflicts ~reader (It.data n))
+    in
+    Atomic.set data.blocked blocked;
+    let node = It.insert t.tree ~lo ~hi data in
+    guard_release t;
+    (node, blocked)
+
+  let acquire t ~reader r =
+    let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in
+    let node, blocked = insert_counting t ~reader r in
+    if blocked > 0 then begin
+      let b = Backoff.create () in
+      while Atomic.get (It.data node).blocked > 0 do
+        Backoff.once b
+      done
+    end;
+    (match t.stats with
+     | None -> ()
+     | Some s -> Lockstat.add s (mode_of reader) (Clock.now_ns () - t0));
+    node
+
+  let release t node =
+    let lo = It.lo node and hi = It.hi node in
+    let mine = It.data node in
+    guard_acquire t;
+    It.remove t.tree node;
+    (* Every conflicting range still present arrived after us and counted us:
+       unblock them. *)
+    It.iter_overlaps t.tree ~lo ~hi (fun n ->
+        let other = It.data n in
+        if conflicts ~reader:mine.reader other then
+          ignore (Atomic.fetch_and_add other.blocked (-1)));
+    guard_release t
+
+  let try_acquire t ~reader r =
+    let lo = Rlk.Range.lo r and hi = Rlk.Range.hi r in
+    guard_acquire t;
+    let blocked =
+      It.count_overlaps t.tree ~lo ~hi (fun n -> conflicts ~reader (It.data n))
+    in
+    let result =
+      if blocked > 0 then None
+      else begin
+        let data = { reader; blocked = Atomic.make 0 } in
+        Some (It.insert t.tree ~lo ~hi data)
+      end
+    in
+    guard_release t;
+    (match result, t.stats with
+     | Some _, Some s -> Lockstat.add s (mode_of reader) 0
+     | _ -> ());
+    result
+
+  let range_of_handle node = Rlk.Range.v ~lo:(It.lo node) ~hi:(It.hi node)
+
+  let pending t =
+    guard_acquire t;
+    let n = It.size t.tree in
+    guard_release t;
+    n
+end

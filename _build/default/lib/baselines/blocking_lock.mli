@@ -1,0 +1,56 @@
+(** The blocking-count range-lock protocol of Section 3 (acquire: lock the
+    guard, count conflicting ranges, insert, unlock, wait for the count to
+    hit zero; release: lock the guard, remove, decrement later arrivals),
+    factored over the index structure that tracks requested ranges — a
+    red-black interval tree for the kernel/Lustre locks ({!Tree_lock}) or a
+    skip list for Song et al.'s design ({!Vee_lock}). Both share the same
+    bottleneck: the guard. *)
+
+module type INDEX = sig
+  type 'a t
+
+  type 'a node
+
+  val create : unit -> 'a t
+
+  val size : 'a t -> int
+
+  val insert : 'a t -> lo:int -> hi:int -> 'a -> 'a node
+
+  val remove : 'a t -> 'a node -> unit
+
+  val lo : 'a node -> int
+
+  val hi : 'a node -> int
+
+  val data : 'a node -> 'a
+
+  val iter_overlaps : 'a t -> lo:int -> hi:int -> ('a node -> unit) -> unit
+
+  val count_overlaps : 'a t -> lo:int -> hi:int -> ('a node -> bool) -> int
+end
+
+type guard_kind = Ttas | Ticket
+
+module Make (I : INDEX) : sig
+  type t
+
+  type handle
+
+  val create :
+    ?stats:Rlk_primitives.Lockstat.t ->
+    ?spin_stats:Rlk_primitives.Lockstat.t ->
+    ?guard:guard_kind ->
+    unit ->
+    t
+
+  val acquire : t -> reader:bool -> Rlk.Range.t -> handle
+
+  val try_acquire : t -> reader:bool -> Rlk.Range.t -> handle option
+
+  val release : t -> handle -> unit
+
+  val range_of_handle : handle -> Rlk.Range.t
+
+  val pending : t -> int
+end

@@ -1,0 +1,122 @@
+open Rlk_primitives
+module Range = Rlk.Range
+
+type slot = {
+  guard : Spinlock.t;
+  mutable owned : Range.t list; (* disjoint, sorted, adjacent pieces merged *)
+  mutable cs : Range.t option;  (* active critical section *)
+}
+
+type t = {
+  slots : slot array;
+  manager : Spinlock.t; (* serializes slow-path grants and revocations *)
+  grants : Padded_counters.t;
+  revocations : Padded_counters.t;
+  stats : Lockstat.t option;
+}
+
+type handle = int
+
+let name = "gpfs-tokens"
+
+let create ?stats () =
+  { slots =
+      Array.init Domain_id.capacity (fun _ ->
+          { guard = Spinlock.create (); owned = []; cs = None });
+    manager = Spinlock.create ();
+    grants = Padded_counters.create ~slots:Domain_id.capacity;
+    revocations = Padded_counters.create ~slots:Domain_id.capacity;
+    stats }
+
+(* owned is normalized, so a contiguous range is covered iff one piece
+   subsumes it. *)
+let covers owned r = List.exists (fun p -> Range.subsumes p r) owned
+
+let insert_normalized owned r =
+  (* Merge r with every piece it overlaps or touches. *)
+  let touching p = Range.overlap p r || Range.hi p = Range.lo r || Range.hi r = Range.lo p in
+  let merged, rest = List.partition touching owned in
+  let r = List.fold_left Range.union_hull r merged in
+  List.sort Range.compare_lo (r :: rest)
+
+let subtract_all owned r =
+  List.concat_map (fun p -> Range.subtract p r) owned
+
+(* Wait until [o]'s critical section no longer conflicts, then strip the
+   overlap from its token. Called with the manager held; takes and releases
+   [o.guard] around each probe so the holder can exit its section. *)
+let revoke t o r =
+  let b = Backoff.create () in
+  let rec wait_cs () =
+    Spinlock.acquire o.guard;
+    match o.cs with
+    | Some cs when Range.overlap cs r ->
+      Spinlock.release o.guard;
+      Backoff.once b;
+      wait_cs ()
+    | _ -> () (* keep o.guard *)
+  in
+  wait_cs ();
+  if List.exists (fun p -> Range.overlap p r) o.owned then begin
+    o.owned <- subtract_all o.owned r;
+    Padded_counters.incr t.revocations (Domain_id.get ())
+  end;
+  Spinlock.release o.guard
+
+let acquire t r =
+  let me = Domain_id.get () in
+  let s = t.slots.(me) in
+  (match s.cs with
+   | Some _ -> invalid_arg "Gpfs_tokens.acquire: already in a critical section"
+   | None -> ());
+  let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in
+  Spinlock.acquire s.guard;
+  if covers s.owned r then begin
+    (* Fast path: the cached token suffices; no global coordination. *)
+    s.cs <- Some r;
+    Spinlock.release s.guard
+  end
+  else begin
+    Spinlock.release s.guard;
+    Spinlock.acquire t.manager;
+    Array.iteri (fun i o -> if i <> me then revoke t o r) t.slots;
+    (* First toucher of an otherwise token-free file gets the whole file,
+       as GPFS grants; under contention only the requested range. *)
+    let everyone_else_empty =
+      Array.for_all (fun o -> o == s || o.owned = []) t.slots
+    in
+    let granted = if everyone_else_empty then Range.full else r in
+    Spinlock.acquire s.guard;
+    s.owned <- insert_normalized s.owned granted;
+    s.cs <- Some r;
+    Spinlock.release s.guard;
+    Spinlock.release t.manager;
+    Padded_counters.incr t.grants me
+  end;
+  (match t.stats with
+   | None -> ()
+   | Some st -> Lockstat.add st Lockstat.Write (Clock.now_ns () - t0));
+  me
+
+let release t slot_index =
+  let s = t.slots.(slot_index) in
+  Spinlock.acquire s.guard;
+  s.cs <- None;
+  Spinlock.release s.guard
+
+let with_range t r f =
+  let h = acquire t r in
+  match f () with
+  | v -> release t h; v
+  | exception e -> release t h; raise e
+
+let token_of t =
+  let s = t.slots.(Domain_id.get ()) in
+  Spinlock.acquire s.guard;
+  let owned = s.owned in
+  Spinlock.release s.guard;
+  owned
+
+let grants t = Padded_counters.sum t.grants
+
+let revocations t = Padded_counters.sum t.revocations

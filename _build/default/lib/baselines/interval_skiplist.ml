@@ -1,0 +1,159 @@
+let max_level = 12
+
+type 'a node = {
+  lo : int;
+  uid : int;
+  hi : int;
+  data : 'a;
+  forward : 'a node option array; (* length = tower height *)
+}
+
+type 'a t = {
+  head : 'a node option array; (* [max_level] forward pointers *)
+  rng : Rlk_primitives.Prng.t;
+  mutable size : int;
+  mutable uid : int;
+}
+
+let create () =
+  { head = Array.make max_level None;
+    rng = Rlk_primitives.Prng.create ~seed:0x51ee9;
+    size = 0;
+    uid = 0 }
+
+let size t = t.size
+
+let is_empty t = t.size = 0
+
+let lo n = n.lo
+
+let hi n = n.hi
+
+let data n = n.data
+
+(* Order by (lo, uid) so equal starts are deterministic. *)
+let before a ~lo ~uid = a.lo < lo || (a.lo = lo && a.uid < uid)
+
+let random_height t =
+  let rec go h =
+    if h < max_level && Rlk_primitives.Prng.bool t.rng ~p:0.5 then go (h + 1) else h
+  in
+  go 1
+
+(* Per-level predecessors of the (lo, uid) position. [preds.(l) = None]
+   means the head's own pointer at that level. *)
+let find_preds t ~lo ~uid =
+  let preds = Array.make max_level None in
+  let cur = ref None in
+  for level = max_level - 1 downto 0 do
+    let next n = match n with None -> t.head.(level) | Some m -> m.forward.(level) in
+    let rec walk () =
+      match next !cur with
+      | Some m when before m ~lo ~uid ->
+        cur := Some m;
+        walk ()
+      | _ -> ()
+    in
+    walk ();
+    preds.(level) <- !cur
+  done;
+  preds
+
+let link t preds node =
+  let height = Array.length node.forward in
+  for level = 0 to height - 1 do
+    match preds.(level) with
+    | None ->
+      node.forward.(level) <- t.head.(level);
+      t.head.(level) <- Some node
+    | Some p ->
+      node.forward.(level) <- p.forward.(level);
+      p.forward.(level) <- Some node
+  done
+
+let insert t ~lo ~hi data =
+  if lo >= hi then invalid_arg "Interval_skiplist.insert: need lo < hi";
+  let uid = t.uid in
+  t.uid <- uid + 1;
+  let node =
+    { lo; uid; hi; data; forward = Array.make (random_height t) None }
+  in
+  link t (find_preds t ~lo ~uid) node;
+  t.size <- t.size + 1;
+  node
+
+let remove t node =
+  let preds = find_preds t ~lo:node.lo ~uid:node.uid in
+  (* The successor of every pred at the node's levels must be the node. *)
+  let height = Array.length node.forward in
+  for level = 0 to height - 1 do
+    let cell_get, cell_set =
+      match preds.(level) with
+      | None -> ((fun () -> t.head.(level)), fun v -> t.head.(level) <- v)
+      | Some p -> ((fun () -> p.forward.(level)), fun v -> p.forward.(level) <- v)
+    in
+    match cell_get () with
+    | Some m when m == node -> cell_set node.forward.(level)
+    | _ -> invalid_arg "Interval_skiplist.remove: stale handle"
+  done;
+  t.size <- t.size - 1
+
+let iter f t =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+      f n;
+      go n.forward.(0)
+  in
+  go t.head.(0)
+
+let iter_overlaps t ~lo:qlo ~hi:qhi f =
+  if qlo >= qhi then invalid_arg "Interval_skiplist.iter_overlaps: need lo < hi";
+  let rec go = function
+    | None -> ()
+    | Some n ->
+      if n.lo < qhi then begin
+        if n.hi > qlo then f n;
+        go n.forward.(0)
+      end
+  in
+  go t.head.(0)
+
+let count_overlaps t ~lo ~hi pred =
+  let n = ref 0 in
+  iter_overlaps t ~lo ~hi (fun node -> if pred node then incr n);
+  !n
+
+let check_invariants t =
+  let exception Bad of string in
+  try
+    (* Every level sorted; every tower member present at level 0. *)
+    let level0 = ref [] in
+    iter (fun n -> level0 := n :: !level0) t;
+    let level0 = List.rev !level0 in
+    if List.length level0 <> t.size then raise (Bad "size mismatch");
+    let rec sorted = function
+      | a :: (b :: _ as rest) ->
+        if not (before a ~lo:b.lo ~uid:b.uid) then raise (Bad "level 0 unsorted");
+        sorted rest
+      | _ -> ()
+    in
+    sorted level0;
+    for level = 1 to max_level - 1 do
+      let rec walk prev = function
+        | None -> ()
+        | Some n ->
+          (match prev with
+           | Some p when not (before p ~lo:n.lo ~uid:n.uid) ->
+             raise (Bad (Printf.sprintf "level %d unsorted" level))
+           | _ -> ());
+          if not (List.memq n level0) then
+            raise (Bad (Printf.sprintf "level %d node missing at level 0" level));
+          if Array.length n.forward <= level then
+            raise (Bad "node linked above its height");
+          walk (Some n) n.forward.(level)
+      in
+      walk None t.head.(level)
+    done;
+    Ok ()
+  with Bad m -> Error m

@@ -1,0 +1,43 @@
+(** Sequential skip list of half-open intervals ordered by start — the
+    index structure of Song et al.'s range lock (VEE'13), which the paper's
+    Section 2 describes as "conceptually very similar" to the kernel's
+    tree-based lock, sharing its spin-lock bottleneck. {!Vee_lock} wraps it
+    with exactly the blocking-count protocol used for the tree.
+
+    Overlap queries scan the bottom level from the head up to the first
+    interval starting at or past the query's end — linear in that prefix,
+    which matches the expected population (one interval per in-flight
+    thread, the same argument the paper makes for its own lists). Not
+    thread-safe; callers hold a lock, as Song et al. do. *)
+
+type 'a t
+
+type 'a node
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val insert : 'a t -> lo:int -> hi:int -> 'a -> 'a node
+(** Requires [lo < hi]. Duplicates are allowed. *)
+
+val remove : 'a t -> 'a node -> unit
+(** The node must be in the list (removal is by key search plus identity
+    check; raises [Invalid_argument] on a stale handle). *)
+
+val lo : 'a node -> int
+
+val hi : 'a node -> int
+
+val data : 'a node -> 'a
+
+val iter_overlaps : 'a t -> lo:int -> hi:int -> ('a node -> unit) -> unit
+
+val count_overlaps : 'a t -> lo:int -> hi:int -> ('a node -> bool) -> int
+
+val iter : ('a node -> unit) -> 'a t -> unit
+
+val check_invariants : 'a t -> (unit, string) result
+(** Sorted levels, tower membership, recorded size. *)

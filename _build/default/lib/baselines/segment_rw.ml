@@ -1,0 +1,80 @@
+open Rlk_primitives
+
+type t = {
+  locks : Rwlock.t array;
+  segment_size : int;
+  stats : Lockstat.t option;
+}
+
+type handle = { first : int; last : int; reader : bool }
+
+let name = "pnova-rw"
+
+let create ?stats ?(segments = 256) ?(segment_size = 1) () =
+  if segments <= 0 || segment_size <= 0 then
+    invalid_arg "Segment_rw.create: segments and segment_size must be positive";
+  { locks = Array.init segments (fun _ -> Rwlock.create ());
+    segment_size;
+    stats }
+
+let segment_span t r =
+  let n = Array.length t.locks in
+  let first = min (Rlk.Range.lo r / t.segment_size) (n - 1) in
+  let last = min ((Rlk.Range.hi r - 1) / t.segment_size) (n - 1) in
+  (first, last)
+
+let acquire t ~reader r =
+  let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in
+  let first, last = segment_span t r in
+  for i = first to last do
+    if reader then Rwlock.read_acquire t.locks.(i)
+    else Rwlock.write_acquire t.locks.(i)
+  done;
+  (match t.stats with
+   | None -> ()
+   | Some s ->
+     Lockstat.add s
+       (if reader then Lockstat.Read else Lockstat.Write)
+       (Clock.now_ns () - t0));
+  { first; last; reader }
+
+let read_acquire t r = acquire t ~reader:true r
+
+let write_acquire t r = acquire t ~reader:false r
+
+let release t h =
+  for i = h.last downto h.first do
+    if h.reader then Rwlock.read_release t.locks.(i)
+    else Rwlock.write_release t.locks.(i)
+  done
+
+let with_read t r f =
+  let h = read_acquire t r in
+  match f () with
+  | v -> release t h; v
+  | exception e -> release t h; raise e
+
+let with_write t r f =
+  let h = write_acquire t r in
+  match f () with
+  | v -> release t h; v
+  | exception e -> release t h; raise e
+
+let segments t = Array.length t.locks
+
+let impl ~segments ~segment_size : Rlk.Intf.rw_impl =
+  (module struct
+    type nonrec t = t
+
+    type nonrec handle = handle
+
+    let name = name
+
+    let create ?stats () = create ?stats ~segments ~segment_size ()
+
+    let read_acquire = read_acquire
+
+    let write_acquire = write_acquire
+
+    let release = release
+  end)

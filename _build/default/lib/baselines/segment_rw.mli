@@ -1,0 +1,41 @@
+(** [pnova-rw]: the segment-based range lock of Kim et al. (pNOVA) /
+    Quinson & Vernier. The covered span is divided into a preset number of
+    segments, each guarded by a reader-writer lock; acquiring a range takes
+    the locks of every segment it touches, in ascending order (so
+    acquisitions cannot deadlock), and the full range takes all of them —
+    which is why full-range acquisition is expensive in this design
+    (Section 2 of the paper).
+
+    Addresses at or beyond [segments * segment_size] fall into the last
+    segment, so the lock remains correct (if coarse) for ranges outside the
+    preset span — including {!Rlk.Range.full}. *)
+
+type t
+
+type handle
+
+val name : string
+
+val create :
+  ?stats:Rlk_primitives.Lockstat.t ->
+  ?segments:int ->
+  ?segment_size:int ->
+  unit ->
+  t
+(** Defaults: 256 segments of size 1 (the paper's ArrBench configuration:
+    one array slot per segment). *)
+
+val read_acquire : t -> Rlk.Range.t -> handle
+
+val write_acquire : t -> Rlk.Range.t -> handle
+
+val release : t -> handle -> unit
+
+val with_read : t -> Rlk.Range.t -> (unit -> 'a) -> 'a
+
+val with_write : t -> Rlk.Range.t -> (unit -> 'a) -> 'a
+
+val segments : t -> int
+
+val impl : segments:int -> segment_size:int -> Rlk.Intf.rw_impl
+(** A preconfigured first-class module for the benchmark registry. *)

@@ -1,0 +1,31 @@
+open Rlk_primitives
+
+type t = Rwsem.t
+
+type handle = { reader : bool }
+
+let name = "stock"
+
+let create ?stats () = Rwsem.create ?stats ()
+
+let read_acquire t (_ : Rlk.Range.t) =
+  Rwsem.down_read t;
+  { reader = true }
+
+let write_acquire t (_ : Rlk.Range.t) =
+  Rwsem.down_write t;
+  { reader = false }
+
+let release t h = if h.reader then Rwsem.up_read t else Rwsem.up_write t
+
+let with_read t r f =
+  let h = read_acquire t r in
+  match f () with
+  | v -> release t h; v
+  | exception e -> release t h; raise e
+
+let with_write t r f =
+  let h = write_acquire t r in
+  match f () with
+  | v -> release t h; v
+  | exception e -> release t h; raise e

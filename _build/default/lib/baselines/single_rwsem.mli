@@ -1,0 +1,21 @@
+(** [stock]: a single reader-writer semaphore covering the whole resource,
+    ignoring ranges entirely — the [mmap_sem] discipline the paper's kernel
+    experiments compare against. Satisfies {!Rlk.Intf.RW}. *)
+
+type t
+
+type handle
+
+val name : string
+
+val create : ?stats:Rlk_primitives.Lockstat.t -> unit -> t
+
+val read_acquire : t -> Rlk.Range.t -> handle
+
+val write_acquire : t -> Rlk.Range.t -> handle
+
+val release : t -> handle -> unit
+
+val with_read : t -> Rlk.Range.t -> (unit -> 'a) -> 'a
+
+val with_write : t -> Rlk.Range.t -> (unit -> 'a) -> 'a

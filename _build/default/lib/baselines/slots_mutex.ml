@@ -1,0 +1,80 @@
+open Rlk_primitives
+
+type t = {
+  slots : Rlk.Range.t option Atomic.t array;
+  retreats : Padded_counters.t;
+  stats : Lockstat.t option;
+}
+
+type handle = int (* the slot index held *)
+
+let name = "mpi-slots"
+
+let create ?stats () =
+  { slots = Array.init Domain_id.capacity (fun _ -> Atomic.make None);
+    retreats = Padded_counters.create ~slots:Domain_id.capacity;
+    stats }
+
+(* Scan every other slot; smallest conflicting index, if any. *)
+let conflict_below t ~me r =
+  let found = ref None in
+  for j = Array.length t.slots - 1 downto 0 do
+    if j <> me then
+      match Atomic.get t.slots.(j) with
+      | Some r' when Rlk.Range.overlap r r' -> found := Some j
+      | _ -> ()
+  done;
+  !found
+
+let acquire t r =
+  let me = Domain_id.get () in
+  let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in
+  (match Atomic.get t.slots.(me) with
+   | Some _ -> invalid_arg "Slots_mutex.acquire: slot already holds a range"
+   | None -> ());
+  let b = Backoff.create () in
+  let rec attempt () =
+    Atomic.set t.slots.(me) (Some r);
+    wait_clear ()
+  and wait_clear () =
+    match conflict_below t ~me r with
+    | None -> () (* acquired *)
+    | Some j when j > me ->
+      (* All conflicts rank below us: keep the claim, they will retreat. *)
+      Backoff.once b;
+      wait_clear ()
+    | Some _ ->
+      (* A higher-priority conflicting request: retreat and retry. *)
+      Atomic.set t.slots.(me) None;
+      Padded_counters.incr t.retreats me;
+      Backoff.once b;
+      attempt ()
+  in
+  attempt ();
+  (match t.stats with
+   | None -> ()
+   | Some s -> Lockstat.add s Lockstat.Write (Clock.now_ns () - t0));
+  me
+
+let try_acquire t r =
+  let me = Domain_id.get () in
+  (match Atomic.get t.slots.(me) with
+   | Some _ -> invalid_arg "Slots_mutex.try_acquire: slot already holds a range"
+   | None -> ());
+  Atomic.set t.slots.(me) (Some r);
+  match conflict_below t ~me r with
+  | None -> Some me
+  | Some _ ->
+    Atomic.set t.slots.(me) None;
+    Padded_counters.incr t.retreats me;
+    None
+
+let release t slot = Atomic.set t.slots.(slot) None
+
+let with_range t r f =
+  let h = acquire t r in
+  match f () with
+  | v -> release t h; v
+  | exception e -> release t h; raise e
+
+let retreats t = Padded_counters.sum t.retreats

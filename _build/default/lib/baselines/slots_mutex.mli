@@ -1,0 +1,35 @@
+(** The slot-per-process byte-range lock of Thakur, Ross and Latham
+    (paper's related work [36], originally over MPI one-sided
+    communication): acquisition publishes the desired range into the
+    caller's own slot and then reads a snapshot of every other slot; if no
+    published range conflicts, the lock is held, otherwise the slot is
+    reset and the attempt repeated.
+
+    The paper notes this design's liveness problem — mutually conflicting
+    requesters can retreat forever. We resolve ties deterministically:
+    a requester retreats only if some conflicting request has a smaller
+    slot index; otherwise it keeps its claim and waits for the others to
+    retreat (a total order, so no deadlock and no livelock).
+
+    Exclusive-only; one slot per domain ({!Rlk_primitives.Domain_id}). *)
+
+type t
+
+type handle
+
+val name : string
+(** ["mpi-slots"]. *)
+
+val create : ?stats:Rlk_primitives.Lockstat.t -> unit -> t
+
+val acquire : t -> Rlk.Range.t -> handle
+
+val try_acquire : t -> Rlk.Range.t -> handle option
+
+val release : t -> handle -> unit
+
+val with_range : t -> Rlk.Range.t -> (unit -> 'a) -> 'a
+
+val retreats : t -> int
+(** Total times any acquirer reset its slot and retried (the coordination
+    overhead the paper contrasts with GPFS-style token schemes). *)

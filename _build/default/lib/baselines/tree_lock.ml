@@ -1,0 +1,3 @@
+type guard_kind = Blocking_lock.guard_kind = Ttas | Ticket
+
+include Blocking_lock.Make (Rlk_rbtree.Interval_tree)

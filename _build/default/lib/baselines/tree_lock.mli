@@ -1,0 +1,51 @@
+(** The kernel's tree-based range lock (Section 3 of the paper): an
+    interval tree of requested ranges protected by a spin lock.
+
+    Acquisition takes the spin lock, counts the already-present conflicting
+    ranges into the new node's blocking count, inserts the node, drops the
+    spin lock, and waits for the count to reach zero. Release takes the spin
+    lock, removes the node, and decrements the blocking count of every
+    conflicting range still in the tree — all of which necessarily arrived
+    later (conflicting earlier arrivals must have released, and left the
+    tree, before this thread could acquire).
+
+    This preserves FIFO order at the cost of the concurrency loss the paper
+    illustrates (C=[4,5) queues behind the still-waiting B=[2,7)) and makes
+    the internal spin lock a contention point of its own, which Figure 8
+    measures via [spin_stats].
+
+    Exposed as {!Tree_mutex} ([lustre-ex], every acquisition conflicts) and
+    {!Tree_rw} ([kernel-rw], readers pass readers — Bueso's patch). *)
+
+type t
+
+type handle
+
+type guard_kind = Ttas | Ticket
+(** Which spin lock protects the tree. The kernel uses a queued lock; the
+    paper's footnote 5 reports that trying a different lock "observed
+    similar relative performance" — [Ticket] lets the ablation benchmark
+    check the same thing here. Default [Ttas]. *)
+
+val create :
+  ?stats:Rlk_primitives.Lockstat.t ->
+  ?spin_stats:Rlk_primitives.Lockstat.t ->
+  ?guard:guard_kind ->
+  unit ->
+  t
+(** [stats] records range-lock wait times (Figure 7); [spin_stats] records
+    waits on the internal spin lock (Figure 8). *)
+
+val acquire : t -> reader:bool -> Rlk.Range.t -> handle
+(** Block until no conflicting range remains ahead of this one. With
+    [reader:true], overlapping readers do not conflict. *)
+
+val try_acquire : t -> reader:bool -> Rlk.Range.t -> handle option
+(** Succeed only if no conflicting range is present at all. *)
+
+val release : t -> handle -> unit
+
+val range_of_handle : handle -> Rlk.Range.t
+
+val pending : t -> int
+(** Number of ranges currently in the tree (held + waiting); diagnostics. *)

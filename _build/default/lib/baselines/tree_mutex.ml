@@ -1,0 +1,24 @@
+type t = Tree_lock.t
+
+type handle = Tree_lock.handle
+
+let name = "lustre-ex"
+
+let create ?stats ?spin_stats ?guard () =
+  Tree_lock.create ?stats ?spin_stats ?guard ()
+
+let acquire t r = Tree_lock.acquire t ~reader:false r
+
+let try_acquire t r = Tree_lock.try_acquire t ~reader:false r
+
+let release = Tree_lock.release
+
+let with_range t r f =
+  let h = acquire t r in
+  match f () with
+  | v -> release t h; v
+  | exception e -> release t h; raise e
+
+let range_of_handle = Tree_lock.range_of_handle
+
+let pending = Tree_lock.pending

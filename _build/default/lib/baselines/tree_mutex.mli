@@ -1,0 +1,28 @@
+(** [lustre-ex]: the exclusive tree-based range lock ported from the Lustre
+    file system / Jan Kara's kernel patch — every overlap conflicts. A thin
+    wrapper over {!Tree_lock} satisfying {!Rlk.Intf.MUTEX}. *)
+
+type t
+
+type handle
+
+val name : string
+
+val create :
+  ?stats:Rlk_primitives.Lockstat.t ->
+  ?spin_stats:Rlk_primitives.Lockstat.t ->
+  ?guard:Tree_lock.guard_kind ->
+  unit ->
+  t
+
+val acquire : t -> Rlk.Range.t -> handle
+
+val try_acquire : t -> Rlk.Range.t -> handle option
+
+val release : t -> handle -> unit
+
+val with_range : t -> Rlk.Range.t -> (unit -> 'a) -> 'a
+
+val range_of_handle : handle -> Rlk.Range.t
+
+val pending : t -> int

@@ -1,0 +1,34 @@
+type t = Tree_lock.t
+
+type handle = Tree_lock.handle
+
+let name = "kernel-rw"
+
+let create ?stats ?spin_stats ?guard () =
+  Tree_lock.create ?stats ?spin_stats ?guard ()
+
+let read_acquire t r = Tree_lock.acquire t ~reader:true r
+
+let write_acquire t r = Tree_lock.acquire t ~reader:false r
+
+let try_read_acquire t r = Tree_lock.try_acquire t ~reader:true r
+
+let try_write_acquire t r = Tree_lock.try_acquire t ~reader:false r
+
+let release = Tree_lock.release
+
+let with_read t r f =
+  let h = read_acquire t r in
+  match f () with
+  | v -> release t h; v
+  | exception e -> release t h; raise e
+
+let with_write t r f =
+  let h = write_acquire t r in
+  match f () with
+  | v -> release t h; v
+  | exception e -> release t h; raise e
+
+let range_of_handle = Tree_lock.range_of_handle
+
+let pending = Tree_lock.pending

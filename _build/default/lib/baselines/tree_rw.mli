@@ -1,0 +1,35 @@
+(** [kernel-rw]: Bueso's reader-writer tree-based range lock proposal for
+    the Linux kernel — overlapping readers do not block each other, but
+    every acquisition still serializes on the internal spin lock. Satisfies
+    {!Rlk.Intf.RW}. *)
+
+type t
+
+type handle
+
+val name : string
+
+val create :
+  ?stats:Rlk_primitives.Lockstat.t ->
+  ?spin_stats:Rlk_primitives.Lockstat.t ->
+  ?guard:Tree_lock.guard_kind ->
+  unit ->
+  t
+
+val read_acquire : t -> Rlk.Range.t -> handle
+
+val write_acquire : t -> Rlk.Range.t -> handle
+
+val try_read_acquire : t -> Rlk.Range.t -> handle option
+
+val try_write_acquire : t -> Rlk.Range.t -> handle option
+
+val release : t -> handle -> unit
+
+val with_read : t -> Rlk.Range.t -> (unit -> 'a) -> 'a
+
+val with_write : t -> Rlk.Range.t -> (unit -> 'a) -> 'a
+
+val range_of_handle : handle -> Rlk.Range.t
+
+val pending : t -> int

@@ -1,0 +1,35 @@
+module L = Blocking_lock.Make (Interval_skiplist)
+
+type t = L.t
+
+type handle = L.handle
+
+let name = "vee-rw"
+
+let create ?stats ?spin_stats () = L.create ?stats ?spin_stats ()
+
+let read_acquire t r = L.acquire t ~reader:true r
+
+let write_acquire t r = L.acquire t ~reader:false r
+
+let try_read_acquire t r = L.try_acquire t ~reader:true r
+
+let try_write_acquire t r = L.try_acquire t ~reader:false r
+
+let release = L.release
+
+let with_read t r f =
+  let h = read_acquire t r in
+  match f () with
+  | v -> release t h; v
+  | exception e -> release t h; raise e
+
+let with_write t r f =
+  let h = write_acquire t r in
+  match f () with
+  | v -> release t h; v
+  | exception e -> release t h; raise e
+
+let range_of_handle = L.range_of_handle
+
+let pending = L.pending

@@ -1,0 +1,37 @@
+(** [vee-rw]: Song et al.'s range lock (VEE'13) — the blocking-count
+    protocol over a skip list guarded by a spin lock. The paper's Section 2
+    notes this design is conceptually the kernel tree lock with a different
+    index, sharing the same spin-lock bottleneck; this module exists to
+    check that claim empirically. Satisfies {!Rlk.Intf.RW}; Song et al.'s
+    original is exclusive-only, so the reader mode here mirrors the
+    kernel-rw adaptation. *)
+
+type t
+
+type handle
+
+val name : string
+
+val create :
+  ?stats:Rlk_primitives.Lockstat.t ->
+  ?spin_stats:Rlk_primitives.Lockstat.t ->
+  unit ->
+  t
+
+val read_acquire : t -> Rlk.Range.t -> handle
+
+val write_acquire : t -> Rlk.Range.t -> handle
+
+val try_read_acquire : t -> Rlk.Range.t -> handle option
+
+val try_write_acquire : t -> Rlk.Range.t -> handle option
+
+val release : t -> handle -> unit
+
+val with_read : t -> Rlk.Range.t -> (unit -> 'a) -> 'a
+
+val with_write : t -> Rlk.Range.t -> (unit -> 'a) -> 'a
+
+val range_of_handle : handle -> Rlk.Range.t
+
+val pending : t -> int

@@ -1,0 +1,1 @@
+lib/core/fairgate.ml: Atomic Rlk_primitives Rwlock

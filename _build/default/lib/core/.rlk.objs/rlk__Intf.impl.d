@@ -1,0 +1,1 @@
+lib/core/intf.ml: List_mutex List_rw Range Rlk_primitives

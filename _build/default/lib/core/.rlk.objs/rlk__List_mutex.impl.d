@@ -1,0 +1,1 @@
+lib/core/list_mutex.ml: Atomic Backoff Clock Fairgate List Lockstat Metrics Node Option Rlk_ebr Rlk_primitives

@@ -1,0 +1,1 @@
+lib/core/list_mutex.mli: Metrics Range Rlk_primitives

@@ -1,0 +1,1 @@
+lib/core/list_rw.mli: Metrics Range Rlk_primitives

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Domain_id Format Padded_counters Rlk_primitives

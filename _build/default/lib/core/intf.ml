@@ -1,0 +1,72 @@
+(** Common signatures for range-lock implementations, so benchmarks, the VM
+    simulator and the skip list can be instantiated with any of the paper's
+    variants (list-based, tree-based, segment-based) interchangeably. *)
+
+module type MUTEX = sig
+  type t
+
+  type handle
+
+  val name : string
+  (** Label used in the paper's plots, e.g. ["list-ex"], ["lustre-ex"]. *)
+
+  val create : ?stats:Rlk_primitives.Lockstat.t -> unit -> t
+
+  val acquire : t -> Range.t -> handle
+
+  val release : t -> handle -> unit
+end
+
+module type RW = sig
+  type t
+
+  type handle
+
+  val name : string
+
+  val create : ?stats:Rlk_primitives.Lockstat.t -> unit -> t
+
+  val read_acquire : t -> Range.t -> handle
+
+  val write_acquire : t -> Range.t -> handle
+
+  val release : t -> handle -> unit
+end
+
+type mutex_impl = (module MUTEX)
+
+type rw_impl = (module RW)
+
+(** Use an exclusive-only range lock where a reader-writer one is expected:
+    both modes acquire exclusively (how [lustre-ex] participates in the
+    paper's read-mix benchmarks). *)
+module Rw_of_mutex (M : MUTEX) : RW = struct
+  type t = M.t
+
+  type handle = M.handle
+
+  let name = M.name
+
+  let create = M.create
+
+  let read_acquire = M.acquire
+
+  let write_acquire = M.acquire
+
+  let release = M.release
+end
+
+(** The paper's list-based locks packaged against the common signatures
+    (default configuration: no fast path, no fairness — as evaluated in
+    Section 7). *)
+module List_mutex_impl : MUTEX = struct
+  include List_mutex
+
+  let create ?stats () = create ?stats ()
+end
+
+module List_rw_impl : RW = struct
+  include List_rw
+
+  let create ?stats () = create ?stats ()
+end

@@ -1,0 +1,189 @@
+open Rlk_primitives
+module Epoch = Rlk_ebr.Epoch
+
+type t = {
+  head : Node.link Atomic.t;
+  fast_path : bool;
+  gate : Fairgate.t option;
+  stats : Lockstat.t option;
+  metrics : Metrics.t;
+}
+
+type handle = Node.t
+
+let name = "list-ex"
+
+let create ?stats ?(fast_path = false) ?fairness () =
+  { head = Atomic.make Node.nil;
+    fast_path;
+    gate = Option.map (fun patience -> Fairgate.create ~patience ()) fairness;
+    stats;
+    metrics = Metrics.create () }
+
+exception Out_of_budget
+exception Would_block
+
+(* One insertion attempt (the paper's InsertNode). Runs inside the epoch.
+   Raises [Out_of_budget] when the fairness budget is exhausted (the node is
+   guaranteed not to be linked at that point) and [Would_block] in
+   non-blocking mode instead of waiting on an overlapping holder. *)
+let try_insert t session node failures ~blocking =
+  let fail_event () =
+    incr failures;
+    if Fairgate.failures_exceeded session ~failures:!failures then
+      raise Out_of_budget;
+    if not blocking then raise Would_block
+  in
+  let rec from_head () = traverse t.head
+  and traverse prev =
+    let l = Atomic.get prev in
+    if l.Node.marked then
+      if prev == t.head then begin
+        (* The mark on the head means a fast-path acquisition: strip it and
+           treat the node as a regular list head (Section 4.5). *)
+        ignore
+          (Atomic.compare_and_set t.head l (Node.link ~marked:false l.Node.succ));
+        traverse prev
+      end
+      else begin
+        (* The node owning [prev] was deleted: the pointer into the list is
+           lost, restart from the head. *)
+        Metrics.restart t.metrics;
+        fail_event ();
+        from_head ()
+      end
+    else
+      match l.Node.succ with
+      | None -> insert_here prev l None
+      | Some cur ->
+        let curl = Atomic.get cur.Node.next in
+        if curl.Node.marked then begin
+          (* cur is logically deleted: unlink it (and recycle on success),
+             then keep traversing from the same spot. *)
+          if Atomic.compare_and_set prev l (Node.link ~marked:false curl.Node.succ)
+          then Node.retire cur;
+          traverse prev
+        end
+        else if cur.Node.lo >= node.Node.hi then insert_here prev l (Some cur)
+        else if node.Node.lo >= cur.Node.hi then traverse cur.Node.next
+        else begin
+          (* Overlap: wait until cur's owner marks it deleted. *)
+          Metrics.overlap_wait t.metrics;
+          if not blocking then raise Would_block;
+          let b = Backoff.create () in
+          while not (Atomic.get cur.Node.next).Node.marked do
+            Backoff.once b
+          done;
+          traverse prev
+        end
+  and insert_here prev expected succ =
+    Atomic.set node.Node.next (Node.link ~marked:false succ);
+    if Atomic.compare_and_set prev expected (Node.link ~marked:false (Some node))
+    then ()
+    else begin
+      Metrics.cas_failure t.metrics;
+      fail_event ();
+      traverse prev
+    end
+  in
+  from_head ()
+
+let insert t session node ~blocking =
+  let failures = ref 0 in
+  let rec attempt () =
+    Epoch.enter Node.epoch;
+    match try_insert t session node failures ~blocking with
+    | () -> Epoch.leave Node.epoch; true
+    | exception Out_of_budget ->
+      Epoch.leave Node.epoch;
+      Metrics.escalation t.metrics;
+      Fairgate.escalate session;
+      attempt ()
+    | exception Would_block -> Epoch.leave Node.epoch; false
+    | exception e -> Epoch.leave Node.epoch; raise e
+  in
+  attempt ()
+
+let fast_path_acquire t node =
+  t.fast_path
+  &&
+  let l = Atomic.get t.head in
+  (not l.Node.marked)
+  && l.Node.succ = None
+  && Atomic.compare_and_set t.head l (Node.link ~marked:true (Some node))
+
+let acquire t r =
+  let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in
+  let session = Fairgate.start t.gate in
+  let node = Node.alloc ~reader:false r in
+  if fast_path_acquire t node then Metrics.fast_path_hit t.metrics
+  else ignore (insert t session node ~blocking:true);
+  Fairgate.finish session;
+  Metrics.acquisition t.metrics;
+  (match t.stats with
+   | None -> ()
+   | Some s -> Lockstat.add s Lockstat.Write (Clock.now_ns () - t0));
+  node
+
+let try_acquire t r =
+  let session = Fairgate.start None in
+  let node = Node.alloc ~reader:false r in
+  if fast_path_acquire t node then begin
+    Metrics.fast_path_hit t.metrics;
+    Metrics.acquisition t.metrics;
+    Some node
+  end
+  else if insert t session node ~blocking:false then begin
+    Metrics.acquisition t.metrics;
+    Some node
+  end
+  else begin
+    (* The node never made it into the list; recycle it directly. *)
+    Node.retire node;
+    None
+  end
+
+let mark_deleted node =
+  let rec go () =
+    let l = Atomic.get node.Node.next in
+    assert (not l.Node.marked);
+    if not (Atomic.compare_and_set node.Node.next l (Node.link ~marked:true l.Node.succ))
+    then go ()
+  in
+  go ()
+
+let release t node =
+  if t.fast_path then begin
+    let l = Atomic.get t.head in
+    if l.Node.marked && Node.succ_is l node
+       && Atomic.compare_and_set t.head l Node.nil
+    then
+      (* Eager removal: the node is already unlinked. *)
+      Node.retire node
+    else mark_deleted node
+  end
+  else mark_deleted node
+
+let with_range t r f =
+  let h = acquire t r in
+  match f () with
+  | v -> release t h; v
+  | exception e -> release t h; raise e
+
+let range_of_handle = Node.range_of
+
+let metrics t = Metrics.snapshot t.metrics
+
+let reset_metrics t = Metrics.reset t.metrics
+
+let holders t =
+  Epoch.pin Node.epoch (fun () ->
+      let rec walk l acc =
+        match l.Node.succ with
+        | None -> List.rev acc
+        | Some n ->
+          let nl = Atomic.get n.Node.next in
+          let acc = if nl.Node.marked then acc else Node.range_of n :: acc in
+          walk nl acc
+      in
+      walk (Atomic.get t.head) [])

@@ -1,0 +1,322 @@
+open Rlk_primitives
+module Epoch = Rlk_ebr.Epoch
+
+type preference = Prefer_readers | Prefer_writers
+
+type t = {
+  head : Node.link Atomic.t;
+  fast_path : bool;
+  prefer : preference;
+  gate : Fairgate.t option;
+  stats : Lockstat.t option;
+  metrics : Metrics.t;
+}
+
+type handle = Node.t
+
+let name = "list-rw"
+
+let create ?stats ?(fast_path = false) ?fairness ?(prefer = Prefer_readers) () =
+  { head = Atomic.make Node.nil;
+    fast_path;
+    prefer;
+    gate = Option.map (fun patience -> Fairgate.create ~patience ()) fairness;
+    stats;
+    metrics = Metrics.create () }
+
+exception Out_of_budget
+exception Would_block
+exception Validation_failed
+
+(* The paper's reader-writer [compare] (Listing 2): position of [node]
+   relative to [cur]. Overlapping readers order by start. *)
+type position = Cur_precedes | Node_precedes | Conflict
+
+let compare_nodes ~cur ~node =
+  let both_readers = cur.Node.reader && node.Node.reader in
+  if node.Node.lo >= cur.Node.hi then Cur_precedes
+  else if both_readers && node.Node.lo >= cur.Node.lo then Cur_precedes
+  else if cur.Node.lo >= node.Node.hi then Node_precedes
+  else if both_readers && cur.Node.lo >= node.Node.lo then Node_precedes
+  else Conflict
+
+let mark_deleted node =
+  let rec go () =
+    let l = Atomic.get node.Node.next in
+    assert (not l.Node.marked);
+    if not (Atomic.compare_and_set node.Node.next l (Node.link ~marked:true l.Node.succ))
+    then go ()
+  in
+  go ()
+
+(* Unlink the marked node [c], reachable through the cell [prev], mimicking
+   the raw-pointer CAS of the paper: the attempt silently fails when [prev]
+   no longer holds an unmarked pointer to [c]. *)
+let try_unlink prev c next_succ =
+  let expected = Atomic.get prev in
+  if (not expected.Node.marked) && Node.succ_is expected c
+     && Atomic.compare_and_set prev expected (Node.link ~marked:false next_succ)
+  then Node.retire c
+
+let wait_until_marked t c ~blocking =
+  Metrics.overlap_wait t.metrics;
+  if not blocking then raise Would_block;
+  let b = Backoff.create () in
+  while not (Atomic.get c.Node.next).Node.marked do
+    Backoff.once b
+  done
+
+(* Reader validation (Listing 3, [r_validate]): scan forward from our node
+   until ranges start at or past our end. With the paper's default reader
+   preference we wait out overlapping writers; with the reversed scheme
+   (Section 4.2's last remark) the reader defers — it deletes itself and
+   fails validation, and the writer waits instead. *)
+let r_validate t node ~blocking =
+  let rec go prev cur =
+    match cur with
+    | None -> ()
+    | Some c ->
+      if c.Node.lo >= node.Node.hi then ()
+      else
+        let cl = Atomic.get c.Node.next in
+        if cl.Node.marked then begin
+          try_unlink prev c cl.Node.succ;
+          go prev cl.Node.succ
+        end
+        else if c.Node.reader then go c.Node.next cl.Node.succ
+        else if blocking && t.prefer = Prefer_readers then begin
+          (* Overlapping writer: it entered before us, defer to it. *)
+          wait_until_marked t c ~blocking;
+          go prev (Some c)
+        end
+        else begin
+          (* Writer-preferred or non-blocking: leave the list and retry. *)
+          if t.prefer = Prefer_writers then Metrics.validation_failure t.metrics;
+          mark_deleted node;
+          raise Validation_failed
+        end
+  in
+  let l = Atomic.get node.Node.next in
+  go node.Node.next l.Node.succ
+
+(* Writer validation (Listing 3, [w_validate]): rescan from the head until
+   we meet our own node. Under reader preference, meeting an overlapping
+   (necessarily reader) node first means we delete ourselves and fail;
+   under writer preference, we wait for that reader to leave instead. *)
+let w_validate t node ~blocking =
+  let rec go prev cur =
+    match cur with
+    | None ->
+      (* Our node is marked only by us; it must be reachable. *)
+      assert false
+    | Some c ->
+      if c == node then ()
+      else
+        let cl = Atomic.get c.Node.next in
+        if cl.Node.marked then begin
+          try_unlink prev c cl.Node.succ;
+          go prev cl.Node.succ
+        end
+        else if c.Node.hi <= node.Node.lo then go c.Node.next cl.Node.succ
+        else if blocking && t.prefer = Prefer_writers then begin
+          (* Overlapping reader: under writer preference the reader will
+             self-abort (or finish); wait until its node is marked. *)
+          wait_until_marked t c ~blocking;
+          go prev (Some c)
+        end
+        else begin
+          Metrics.validation_failure t.metrics;
+          mark_deleted node;
+          raise Validation_failed
+        end
+  in
+  let l = Atomic.get t.head in
+  go t.head l.Node.succ
+
+(* One insertion-plus-validation attempt; runs inside the epoch. *)
+let try_insert t session node failures ~blocking =
+  let fail_event () =
+    incr failures;
+    if Fairgate.failures_exceeded session ~failures:!failures then
+      raise Out_of_budget;
+    if not blocking then raise Would_block
+  in
+  let rec from_head () = traverse t.head
+  and traverse prev =
+    let l = Atomic.get prev in
+    if l.Node.marked then
+      if prev == t.head then begin
+        ignore
+          (Atomic.compare_and_set t.head l (Node.link ~marked:false l.Node.succ));
+        traverse prev
+      end
+      else begin
+        Metrics.restart t.metrics;
+        fail_event ();
+        from_head ()
+      end
+    else
+      match l.Node.succ with
+      | None -> insert_here prev l None
+      | Some cur ->
+        let curl = Atomic.get cur.Node.next in
+        if curl.Node.marked then begin
+          if Atomic.compare_and_set prev l (Node.link ~marked:false curl.Node.succ)
+          then Node.retire cur;
+          traverse prev
+        end
+        else begin
+          match compare_nodes ~cur ~node with
+          | Node_precedes -> insert_here prev l (Some cur)
+          | Cur_precedes -> traverse cur.Node.next
+          | Conflict ->
+            wait_until_marked t cur ~blocking;
+            traverse prev
+        end
+  and insert_here prev expected succ =
+    Atomic.set node.Node.next (Node.link ~marked:false succ);
+    if Atomic.compare_and_set prev expected (Node.link ~marked:false (Some node))
+    then
+      if node.Node.reader then r_validate t node ~blocking
+      else w_validate t node ~blocking
+    else begin
+      Metrics.cas_failure t.metrics;
+      fail_event ();
+      traverse prev
+    end
+  in
+  from_head ()
+
+let fast_path_acquire t node =
+  t.fast_path
+  &&
+  let l = Atomic.get t.head in
+  (not l.Node.marked)
+  && l.Node.succ = None
+  && Atomic.compare_and_set t.head l (Node.link ~marked:true (Some node))
+
+(* Blocking acquisition: loops on validation failures (fresh node each
+   retry, as in Listing 2's do-while) and escalates through the fairness
+   gate when the failure budget runs out. *)
+let acquire_blocking t session ~reader r =
+  let failures = ref 0 in
+  let rec attempt node =
+    if fast_path_acquire t node then begin
+      Metrics.fast_path_hit t.metrics;
+      node
+    end
+    else begin
+      Epoch.enter Node.epoch;
+      match try_insert t session node failures ~blocking:true with
+      | () -> Epoch.leave Node.epoch; node
+      | exception Validation_failed ->
+        Epoch.leave Node.epoch;
+        incr failures;
+        if Fairgate.failures_exceeded session ~failures:!failures then begin
+          Metrics.escalation t.metrics;
+          Fairgate.escalate session
+        end;
+        (* The abandoned node is still linked (marked); others unlink and
+           recycle it. Start over with a fresh one. *)
+        attempt (Node.alloc ~reader r)
+      | exception Out_of_budget ->
+        Epoch.leave Node.epoch;
+        Metrics.escalation t.metrics;
+        Fairgate.escalate session;
+        attempt node
+      | exception e -> Epoch.leave Node.epoch; raise e
+    end
+  in
+  attempt (Node.alloc ~reader r)
+
+let acquire t ~mode r =
+  let reader = match mode with Lockstat.Read -> true | Lockstat.Write -> false in
+  let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in
+  let session = Fairgate.start t.gate in
+  let node = acquire_blocking t session ~reader r in
+  Fairgate.finish session;
+  Metrics.acquisition t.metrics;
+  (match t.stats with
+   | None -> ()
+   | Some s -> Lockstat.add s mode (Clock.now_ns () - t0));
+  node
+
+let read_acquire t r = acquire t ~mode:Lockstat.Read r
+
+let write_acquire t r = acquire t ~mode:Lockstat.Write r
+
+let try_acquire_nb t ~reader r =
+  let session = Fairgate.start None in
+  let node = Node.alloc ~reader r in
+  if fast_path_acquire t node then begin
+    Metrics.fast_path_hit t.metrics;
+    Metrics.acquisition t.metrics;
+    Some node
+  end
+  else begin
+    Epoch.enter Node.epoch;
+    match try_insert t session node (ref 0) ~blocking:false with
+    | () ->
+      Epoch.leave Node.epoch;
+      Metrics.acquisition t.metrics;
+      Some node
+    | exception Would_block ->
+      Epoch.leave Node.epoch;
+      (* Never linked: recycle directly. *)
+      Node.retire node;
+      None
+    | exception Validation_failed ->
+      (* Linked then self-deleted; others will unlink it. *)
+      Epoch.leave Node.epoch;
+      None
+    | exception e -> Epoch.leave Node.epoch; raise e
+  end
+
+let try_read_acquire t r = try_acquire_nb t ~reader:true r
+
+let try_write_acquire t r = try_acquire_nb t ~reader:false r
+
+let release t node =
+  if t.fast_path then begin
+    let l = Atomic.get t.head in
+    if l.Node.marked && Node.succ_is l node
+       && Atomic.compare_and_set t.head l Node.nil
+    then Node.retire node
+    else mark_deleted node
+  end
+  else mark_deleted node
+
+let with_read t r f =
+  let h = read_acquire t r in
+  match f () with
+  | v -> release t h; v
+  | exception e -> release t h; raise e
+
+let with_write t r f =
+  let h = write_acquire t r in
+  match f () with
+  | v -> release t h; v
+  | exception e -> release t h; raise e
+
+let range_of_handle = Node.range_of
+
+let is_reader (n : handle) = n.Node.reader
+
+let metrics t = Metrics.snapshot t.metrics
+
+let reset_metrics t = Metrics.reset t.metrics
+
+let holders t =
+  Epoch.pin Node.epoch (fun () ->
+      let rec walk l acc =
+        match l.Node.succ with
+        | None -> List.rev acc
+        | Some n ->
+          let nl = Atomic.get n.Node.next in
+          let acc =
+            if nl.Node.marked then acc
+            else (Node.range_of n, if n.Node.reader then `Reader else `Writer) :: acc
+          in
+          walk nl acc
+      in
+      walk (Atomic.get t.head) [])

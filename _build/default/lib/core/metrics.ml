@@ -1,0 +1,60 @@
+open Rlk_primitives
+
+type t = {
+  acquisitions : Padded_counters.t;
+  fast_path : Padded_counters.t;
+  restarts : Padded_counters.t;
+  cas_failures : Padded_counters.t;
+  overlap_waits : Padded_counters.t;
+  validation_failures : Padded_counters.t;
+  escalations : Padded_counters.t;
+}
+
+type snapshot = {
+  acquisitions : int;
+  fast_path_hits : int;
+  restarts : int;
+  cas_failures : int;
+  overlap_waits : int;
+  validation_failures : int;
+  escalations : int;
+}
+
+let create () =
+  let c () = Padded_counters.create ~slots:Domain_id.capacity in
+  { acquisitions = c (); fast_path = c (); restarts = c (); cas_failures = c ();
+    overlap_waits = c (); validation_failures = c (); escalations = c () }
+
+let bump c = Padded_counters.incr c (Domain_id.get ())
+
+let acquisition (t : t) = bump t.acquisitions
+let fast_path_hit (t : t) = bump t.fast_path
+let restart (t : t) = bump t.restarts
+let cas_failure (t : t) = bump t.cas_failures
+let overlap_wait (t : t) = bump t.overlap_waits
+let validation_failure (t : t) = bump t.validation_failures
+let escalation (t : t) = bump t.escalations
+
+let snapshot (t : t) : snapshot =
+  { acquisitions = Padded_counters.sum t.acquisitions;
+    fast_path_hits = Padded_counters.sum t.fast_path;
+    restarts = Padded_counters.sum t.restarts;
+    cas_failures = Padded_counters.sum t.cas_failures;
+    overlap_waits = Padded_counters.sum t.overlap_waits;
+    validation_failures = Padded_counters.sum t.validation_failures;
+    escalations = Padded_counters.sum t.escalations }
+
+let reset (t : t) =
+  Padded_counters.reset t.acquisitions;
+  Padded_counters.reset t.fast_path;
+  Padded_counters.reset t.restarts;
+  Padded_counters.reset t.cas_failures;
+  Padded_counters.reset t.overlap_waits;
+  Padded_counters.reset t.validation_failures;
+  Padded_counters.reset t.escalations
+
+let pp_snapshot ppf s =
+  Format.fprintf ppf
+    "acq=%d fast=%d restarts=%d cas-fail=%d waits=%d val-fail=%d escalations=%d"
+    s.acquisitions s.fast_path_hits s.restarts s.cas_failures s.overlap_waits
+    s.validation_failures s.escalations

@@ -1,0 +1,30 @@
+(** Per-lock behavioural counters, used by the ablation benchmarks to
+    quantify contention events (traversal restarts, CAS failures, waits on
+    overlapping ranges, validation restarts, fairness escalations). Cheap:
+    one padded per-domain array store per event. *)
+
+type t
+
+type snapshot = {
+  acquisitions : int;
+  fast_path_hits : int;
+  restarts : int;       (** traversals restarted because [prev] was marked *)
+  cas_failures : int;   (** failed insertion CAS *)
+  overlap_waits : int;  (** times a thread waited on an overlapping range *)
+  validation_failures : int; (** writer validation restarts (RW variant) *)
+  escalations : int;    (** fairness-gate escalations to impatient mode *)
+}
+
+val create : unit -> t
+
+val acquisition : t -> unit
+val fast_path_hit : t -> unit
+val restart : t -> unit
+val cas_failure : t -> unit
+val overlap_wait : t -> unit
+val validation_failure : t -> unit
+val escalation : t -> unit
+
+val snapshot : t -> snapshot
+val reset : t -> unit
+val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -1,0 +1,38 @@
+type t = {
+  mutable lo : int;
+  mutable hi : int;
+  mutable reader : bool;
+  next : link Atomic.t;
+}
+
+and link = { marked : bool; succ : t option }
+
+let nil = { marked = false; succ = None }
+
+let link ~marked succ = { marked; succ }
+
+let succ_is l n = match l.succ with Some m -> m == n | None -> false
+
+let range_of n = Range.v ~lo:n.lo ~hi:n.hi
+
+let epoch = Rlk_ebr.Epoch.create ()
+
+let fresh () = { lo = 0; hi = 1; reader = false; next = Atomic.make nil }
+
+(* The paper uses N = 128; we use a larger pool because on an oversubscribed
+   2-CPU host an epoch barrier that observes a descheduled traverser stalls
+   for a scheduling quantum, so barriers must be rarer to stay amortized
+   (see DESIGN.md "Known deviations"). *)
+let pool = Rlk_ebr.Pool.create ~target:2048 ~alloc:fresh epoch
+
+let alloc ~reader r =
+  let n = Rlk_ebr.Pool.get pool in
+  n.lo <- Range.lo r;
+  n.hi <- Range.hi r;
+  n.reader <- reader;
+  Atomic.set n.next nil;
+  n
+
+let retire n = Rlk_ebr.Pool.retire pool n
+
+let pool_stats () = Rlk_ebr.Pool.stats pool

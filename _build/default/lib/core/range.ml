@@ -1,0 +1,46 @@
+type t = { lo : int; hi : int }
+
+let v ~lo ~hi =
+  if lo < 0 || lo >= hi then
+    invalid_arg (Printf.sprintf "Range.v: need 0 <= lo < hi, got [%d, %d)" lo hi);
+  { lo; hi }
+
+let full = { lo = 0; hi = max_int }
+
+let is_full r = r.lo = 0 && r.hi = max_int
+
+let lo r = r.lo
+
+let hi r = r.hi
+
+let length r = r.hi - r.lo
+
+let overlap a b = a.lo < b.hi && b.lo < a.hi
+
+let contains r x = r.lo <= x && x < r.hi
+
+let subsumes outer inner = outer.lo <= inner.lo && inner.hi <= outer.hi
+
+let intersect a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo < hi then Some { lo; hi } else None
+
+let subtract a b =
+  if not (overlap a b) then [ a ]
+  else begin
+    let left = if a.lo < b.lo then [ { lo = a.lo; hi = b.lo } ] else [] in
+    let right = if b.hi < a.hi then [ { lo = b.hi; hi = a.hi } ] else [] in
+    left @ right
+  end
+
+let union_hull a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+let compare_lo a b = compare a.lo b.lo
+
+let pp ppf r =
+  if is_full r then Format.fprintf ppf "[full)"
+  else Format.fprintf ppf "[%d, %d)" r.lo r.hi
+
+let to_string r = Format.asprintf "%a" pp r

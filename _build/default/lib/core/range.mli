@@ -1,0 +1,49 @@
+(** Half-open integer ranges [lo, hi).
+
+    The paper writes ranges as [start, end] with the convention that
+    [lock1.start >= lock2.end] means no overlap — i.e. half-open intervals;
+    we keep that convention and name the bounds [lo]/[hi] ([end] is an
+    OCaml keyword). *)
+
+type t = private { lo : int; hi : int }
+
+val v : lo:int -> hi:int -> t
+(** Construct a range; requires [0 <= lo < hi]. *)
+
+val full : t
+(** The entire addressable range [0, max_int) — the "full range" special
+    acquisition of the kernel range-lock API. *)
+
+val is_full : t -> bool
+
+val lo : t -> int
+
+val hi : t -> int
+
+val length : t -> int
+
+val overlap : t -> t -> bool
+(** Half-open overlap: [a.lo < b.hi && b.lo < a.hi]. *)
+
+val contains : t -> int -> bool
+
+val subsumes : t -> t -> bool
+(** [subsumes outer inner] — [inner] lies entirely within [outer]. *)
+
+val intersect : t -> t -> t option
+
+val subtract : t -> t -> t list
+(** [subtract a b] is what remains of [a] after removing [b]: zero, one or
+    two ranges, in ascending order. *)
+
+val union_hull : t -> t -> t
+(** Smallest range covering both. *)
+
+val equal : t -> t -> bool
+
+val compare_lo : t -> t -> int
+(** Order by [lo] (the list order of the paper's Invariants 1 and 2). *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/ebr/epoch.ml: Array Atomic Backoff Domain_id Rlk_primitives

@@ -1,0 +1,1 @@
+lib/ebr/epoch.mli:

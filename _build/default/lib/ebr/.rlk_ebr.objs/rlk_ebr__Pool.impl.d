@@ -1,0 +1,1 @@
+lib/ebr/pool.ml: Domain Domain_id Epoch Padded_counters Rlk_primitives

@@ -1,0 +1,48 @@
+open Rlk_primitives
+
+(* One atomic counter per domain slot. Padding between slots is achieved by
+   allocating each Atomic.t separately (boxed), which is sufficient here:
+   the counters are written only by their owner and scanned rarely. *)
+type t = { epochs : int Atomic.t array }
+
+let create () =
+  { epochs = Array.init Domain_id.capacity (fun _ -> Atomic.make 0) }
+
+let my_cell t = t.epochs.(Domain_id.get ())
+
+let enter t =
+  let c = my_cell t in
+  let e = Atomic.get c in
+  assert (e land 1 = 0);
+  (* Publish the odd epoch before any shared read; Atomic.set is a release
+     store and subsequent Atomic reads of list links synchronize with it. *)
+  Atomic.set c (e + 1)
+
+let leave t =
+  let c = my_cell t in
+  let e = Atomic.get c in
+  assert (e land 1 = 1);
+  Atomic.set c (e + 1)
+
+let inside t = Atomic.get (my_cell t) land 1 = 1
+
+let barrier t =
+  let self = Domain_id.get () in
+  for i = 0 to Array.length t.epochs - 1 do
+    if i <> self then begin
+      let c = t.epochs.(i) in
+      let observed = Atomic.get c in
+      if observed land 1 = 1 then begin
+        let b = Backoff.create () in
+        while Atomic.get c = observed do
+          Backoff.once b
+        done
+      end
+    end
+  done
+
+let pin t f =
+  enter t;
+  match f () with
+  | v -> leave t; v
+  | exception e -> leave t; raise e

@@ -1,0 +1,34 @@
+(** Epoch-based reclamation, Section 4.4 of the paper.
+
+    Each domain owns a 64-bit epoch counter, incremented before the first
+    and after the last reference to a shared list node in an operation — so
+    an odd value means "inside a traversal". A thread that wants to recycle
+    retired nodes runs {!barrier}: for every other domain whose epoch is
+    odd, wait until that counter changes. After the barrier, no thread can
+    still hold a reference to a node retired before the barrier started.
+
+    OCaml's GC makes reclamation safe regardless; this module exists so the
+    node pools reproduce the paper's allocation-amortization design and so
+    the same code structure would be correct in a manually-managed port. *)
+
+type t
+
+val create : unit -> t
+
+val enter : t -> unit
+(** Mark the calling domain as inside a traversal (epoch becomes odd).
+    Must not be called re-entrantly. *)
+
+val leave : t -> unit
+(** Mark the calling domain as outside (epoch becomes even). *)
+
+val inside : t -> bool
+(** Whether the calling domain is currently inside a traversal. *)
+
+val barrier : t -> unit
+(** Wait until every domain observed inside a traversal at the start of the
+    call has since left (or advanced to a new traversal). Must be called
+    from *outside* a traversal. *)
+
+val pin : t -> (unit -> 'a) -> 'a
+(** [pin t f] runs [f] between {!enter} and {!leave}, exception-safely. *)

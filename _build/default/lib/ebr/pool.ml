@@ -1,0 +1,98 @@
+open Rlk_primitives
+
+type 'a local = {
+  mutable active : 'a list;
+  mutable active_len : int;
+  mutable reclaimed : 'a list;
+  mutable reclaimed_len : int;
+}
+
+type 'a t = {
+  target : int;
+  alloc : unit -> 'a;
+  ep : Epoch.t;
+  key : 'a local Domain.DLS.key;
+  fresh : Padded_counters.t;
+  recycled : Padded_counters.t;
+  barriers : Padded_counters.t;
+  trimmed : Padded_counters.t;
+}
+
+type stats = {
+  fresh_allocations : int;
+  recycled : int;
+  barriers : int;
+  trimmed : int;
+}
+
+let create ?(target = 128) ~alloc ep =
+  if target <= 0 then invalid_arg "Pool.create: target must be positive";
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let rec fill n acc = if n = 0 then acc else fill (n - 1) (alloc () :: acc) in
+        { active = fill target []; active_len = target;
+          reclaimed = []; reclaimed_len = 0 })
+  in
+  let slots = Domain_id.capacity in
+  { target; alloc; ep; key;
+    fresh = Padded_counters.create ~slots;
+    recycled = Padded_counters.create ~slots;
+    barriers = Padded_counters.create ~slots;
+    trimmed = Padded_counters.create ~slots }
+
+let epoch t = t.ep
+
+(* Swap pools after a barrier, then keep the active pool within
+   [target/2, 2*target] as the paper prescribes. *)
+let refill t local =
+  let me = Domain_id.get () in
+  Epoch.barrier t.ep;
+  Padded_counters.incr t.barriers me;
+  let a, alen = local.reclaimed, local.reclaimed_len in
+  local.reclaimed <- [];
+  local.reclaimed_len <- 0;
+  local.active <- a;
+  local.active_len <- alen;
+  if local.active_len < t.target / 2 then begin
+    let need = t.target - local.active_len in
+    for _ = 1 to need do
+      local.active <- t.alloc () :: local.active
+    done;
+    local.active_len <- t.target;
+    Padded_counters.add t.fresh me need
+  end
+  else if local.active_len > 2 * t.target then begin
+    let excess = local.active_len - t.target in
+    let rec drop n l = if n = 0 then l else match l with
+      | [] -> []
+      | _ :: rest -> drop (n - 1) rest
+    in
+    local.active <- drop excess local.active;
+    local.active_len <- t.target;
+    Padded_counters.add t.trimmed me excess
+  end
+
+let get t =
+  let local = Domain.DLS.get t.key in
+  if local.active_len = 0 then refill t local;
+  match local.active with
+  | [] ->
+    (* Reclaimed pool was empty too: allocate fresh. *)
+    Padded_counters.incr t.fresh (Domain_id.get ());
+    t.alloc ()
+  | n :: rest ->
+    local.active <- rest;
+    local.active_len <- local.active_len - 1;
+    Padded_counters.incr t.recycled (Domain_id.get ());
+    n
+
+let retire t node =
+  let local = Domain.DLS.get t.key in
+  local.reclaimed <- node :: local.reclaimed;
+  local.reclaimed_len <- local.reclaimed_len + 1
+
+let stats t =
+  { fresh_allocations = Padded_counters.sum t.fresh;
+    recycled = Padded_counters.sum t.recycled;
+    barriers = Padded_counters.sum t.barriers;
+    trimmed = Padded_counters.sum t.trimmed }

@@ -1,0 +1,39 @@
+(** Two-pool thread-local node recycling, Section 4.4.
+
+    Every domain keeps an *active* pool of nodes ready for allocation and a
+    *reclaimed* pool of nodes it has unlinked but not yet recycled. When the
+    active pool runs dry the domain runs an epoch {!Epoch.barrier}, swaps
+    the two pools, then replenishes the active pool up to [target] if it
+    holds fewer than [target/2] nodes, or trims it down to [target] if it
+    holds more than [2*target] (trimmed nodes are dropped to the GC).
+
+    With a balanced workload — each thread unlinks about as many nodes as
+    it inserts — steady state never touches the system allocator, exactly
+    the property the paper claims. *)
+
+type 'a t
+
+type stats = {
+  fresh_allocations : int; (** nodes obtained from the [alloc] callback *)
+  recycled : int;          (** nodes served from a pool *)
+  barriers : int;          (** epoch barriers executed *)
+  trimmed : int;           (** nodes dropped by pool trimming *)
+}
+
+val create : ?target:int -> alloc:(unit -> 'a) -> Epoch.t -> 'a t
+(** [create ~alloc epoch] — [target] is the paper's N (default 128). The
+    per-domain pools are created lazily, pre-filled with [target] nodes. *)
+
+val get : 'a t -> 'a
+(** Take a node for a new acquisition. Runs the barrier-and-swap protocol
+    when the calling domain's active pool is empty. Must be called from
+    outside an epoch traversal (the barrier requirement). *)
+
+val retire : 'a t -> 'a -> unit
+(** Hand back a node that was unlinked from the shared structure. The node
+    becomes reusable only after a later barrier. *)
+
+val stats : 'a t -> stats
+(** Aggregate counters across domains (racy but monotone). *)
+
+val epoch : 'a t -> Epoch.t

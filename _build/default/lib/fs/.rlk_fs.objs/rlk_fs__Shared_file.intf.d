@@ -1,0 +1,1 @@
+lib/fs/shared_file.mli: Rlk

@@ -1,0 +1,96 @@
+module Make (L : Rlk.Intf.RW) = struct
+  type t = {
+    data : Bytes.t;
+    lock : L.t;
+    eof : int Atomic.t;
+  }
+
+  let lock_name = L.name
+
+  let create ~size =
+    if size <= 0 then invalid_arg "Shared_file.create: size must be positive";
+    { data = Bytes.make size '\000'; lock = L.create (); eof = Atomic.make 0 }
+
+  let capacity t = Bytes.length t.data
+
+  let eof t = Atomic.get t.eof
+
+  (* EOF only grows; publish the max of the old value and the write end. *)
+  let rec push_eof t new_end =
+    let cur = Atomic.get t.eof in
+    if new_end > cur && not (Atomic.compare_and_set t.eof cur new_end) then
+      push_eof t new_end
+
+  let check_span t ~off ~len =
+    if off < 0 || len < 0 || off + len > Bytes.length t.data then
+      invalid_arg "Shared_file: span outside file capacity"
+
+  let pread t ~off ~len =
+    check_span t ~off ~len;
+    if len = 0 then Bytes.empty
+    else begin
+      let h = L.read_acquire t.lock (Rlk.Range.v ~lo:off ~hi:(off + len)) in
+      let avail = max 0 (min len (Atomic.get t.eof - off)) in
+      let out = Bytes.create avail in
+      Bytes.blit t.data off out 0 avail;
+      L.release t.lock h;
+      out
+    end
+
+  let pwrite t ~off buf =
+    let len = Bytes.length buf in
+    check_span t ~off ~len;
+    if len > 0 then begin
+      let h = L.write_acquire t.lock (Rlk.Range.v ~lo:off ~hi:(off + len)) in
+      Bytes.blit buf 0 t.data off len;
+      push_eof t (off + len);
+      L.release t.lock h
+    end
+
+  let append t buf =
+    let len = Bytes.length buf in
+    if len = 0 then Atomic.get t.eof
+    else begin
+      (* Reserve the region first; the lock then only covers the copy. *)
+      let off = Atomic.fetch_and_add t.eof len in
+      if off + len > Bytes.length t.data then begin
+        (* Roll the reservation back so later small appends may still fit. *)
+        ignore (Atomic.fetch_and_add t.eof (-len));
+        invalid_arg "Shared_file.append: file full"
+      end;
+      let h = L.write_acquire t.lock (Rlk.Range.v ~lo:off ~hi:(off + len)) in
+      Bytes.blit buf 0 t.data off len;
+      L.release t.lock h;
+      off
+    end
+
+  (* ---- checksummed records ---- *)
+
+  let record_size = 256
+
+  let write_record t ~index ~tag =
+    let off = index * record_size in
+    check_span t ~off ~len:record_size;
+    let h =
+      L.write_acquire t.lock (Rlk.Range.v ~lo:off ~hi:(off + record_size))
+    in
+    let byte = Char.chr (tag land 0xff) in
+    Bytes.fill t.data off (record_size - 1) byte;
+    Bytes.set t.data (off + record_size - 1) byte;
+    push_eof t (off + record_size);
+    L.release t.lock h
+
+  let read_record t ~index =
+    let off = index * record_size in
+    check_span t ~off ~len:record_size;
+    let h =
+      L.read_acquire t.lock (Rlk.Range.v ~lo:off ~hi:(off + record_size))
+    in
+    let sum = Bytes.get t.data (off + record_size - 1) in
+    let ok = ref true in
+    for i = 0 to record_size - 2 do
+      if Bytes.get t.data (off + i) <> sum then ok := false
+    done;
+    L.release t.lock h;
+    if !ok then Ok (Char.code sum) else Error `Torn
+end

@@ -1,0 +1,55 @@
+(** Shared-file I/O under a range lock — the application domain range locks
+    were invented for (the paper's introduction) and the one Kim et al.'s
+    pNOVA work targets; the paper proposes its list-based locks as a
+    drop-in replacement there (Section 2).
+
+    One in-memory "file" per instance; reads lock their byte range shared,
+    writes exclusive, so writers to disjoint regions run in parallel.
+    [append] reserves space with a fetch-and-add on the end-of-file cursor
+    and then locks only the reserved range — concurrent appends do not
+    serialize on each other's data copies.
+
+    The functor takes any {!Rlk.Intf.RW} implementation, which is exactly
+    how the benchmark compares list-rw / kernel-rw / pnova-rw / stock on
+    identical I/O workloads. *)
+
+module Make (L : Rlk.Intf.RW) : sig
+  type t
+
+  val lock_name : string
+
+  val create : size:int -> t
+  (** Fixed-capacity file, initially zeroed with EOF at 0. *)
+
+  val capacity : t -> int
+
+  val eof : t -> int
+  (** Current end-of-file (monotone). *)
+
+  val pread : t -> off:int -> len:int -> bytes
+  (** Read [len] bytes under a shared range acquisition. Short reads past
+      EOF behave like POSIX (may return fewer bytes); reads beyond the
+      capacity raise [Invalid_argument]. *)
+
+  val pwrite : t -> off:int -> bytes -> unit
+  (** Write under an exclusive range acquisition; extends EOF when writing
+      past it. *)
+
+  val append : t -> bytes -> int
+  (** Reserve space at EOF, write it under an exclusive acquisition of the
+      reserved range only, return the offset. Raises [Invalid_argument]
+      when the file is full. *)
+
+  (** {1 Record helpers} — fixed-size self-checksummed records used by the
+      tests and the consistency benchmark to detect torn writes. *)
+
+  val record_size : int
+  (** 256 bytes. *)
+
+  val write_record : t -> index:int -> tag:int -> unit
+  (** Fill record [index] with [tag] and a checksum, under the lock. *)
+
+  val read_record : t -> index:int -> (int, [ `Torn ]) result
+  (** Read record [index] under the lock; [Ok tag] iff internally
+      consistent. *)
+end

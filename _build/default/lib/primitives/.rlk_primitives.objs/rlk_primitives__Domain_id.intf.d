@@ -1,0 +1,1 @@
+lib/primitives/domain_id.mli:

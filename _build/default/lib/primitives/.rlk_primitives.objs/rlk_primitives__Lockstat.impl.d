@@ -1,0 +1,1 @@
+lib/primitives/lockstat.ml: Array Domain_id Format

@@ -1,0 +1,1 @@
+lib/primitives/padded_counters.ml: Array

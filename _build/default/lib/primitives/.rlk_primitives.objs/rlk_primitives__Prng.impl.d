@@ -1,0 +1,1 @@
+lib/primitives/prng.ml: Int64

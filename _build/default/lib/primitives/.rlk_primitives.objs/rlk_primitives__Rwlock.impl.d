@@ -1,0 +1,1 @@
+lib/primitives/rwlock.ml: Atomic Backoff Clock Lockstat

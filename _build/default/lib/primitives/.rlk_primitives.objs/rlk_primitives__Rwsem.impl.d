@@ -1,0 +1,1 @@
+lib/primitives/rwsem.ml: Clock Condition Domain Lockstat Mutex

@@ -1,0 +1,1 @@
+lib/primitives/spinlock.ml: Atomic Backoff Clock Lockstat

@@ -1,0 +1,1 @@
+lib/primitives/ticketlock.ml: Atomic Backoff Clock Lockstat

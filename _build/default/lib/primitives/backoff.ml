@@ -1,0 +1,29 @@
+type t = {
+  min_log : int;
+  max_log : int;
+  mutable cur_log : int;
+  mutable events : int;
+}
+
+let create ?(min_log = 4) ?(max_log = 10) () =
+  if min_log < 0 || max_log < min_log then
+    invalid_arg "Backoff.create: need 0 <= min_log <= max_log";
+  { min_log; max_log; cur_log = min_log; events = 0 }
+
+let once t =
+  t.events <- t.events + 1;
+  if t.cur_log >= t.max_log then begin
+    (* Saturated: deschedule briefly so lock holders can run even when
+       domains outnumber CPUs. *)
+    (try Unix.sleepf 1e-6 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+  end else begin
+    let spins = 1 lsl t.cur_log in
+    for _ = 1 to spins do
+      Domain.cpu_relax ()
+    done;
+    t.cur_log <- t.cur_log + 1
+  end
+
+let reset t = t.cur_log <- t.min_log
+
+let spins t = t.events

@@ -1,0 +1,23 @@
+(** Bounded exponential backoff for polite busy-waiting.
+
+    Spins with [Domain.cpu_relax] for a geometrically growing number of
+    iterations; once saturated it sleeps for a microsecond so that
+    oversubscribed configurations (more domains than CPUs) keep making
+    progress instead of livelocking. This is the [Pause()] of the paper's
+    pseudo-code, adapted to a 2-CPU container. *)
+
+type t
+
+val create : ?min_log:int -> ?max_log:int -> unit -> t
+(** Fresh backoff state. Spin counts range over [2^min_log .. 2^max_log]
+    (defaults 4 and 10). *)
+
+val once : t -> unit
+(** Back off once and escalate the next delay. *)
+
+val reset : t -> unit
+(** Return to the minimum delay (call after a successful acquisition). *)
+
+val spins : t -> int
+(** Total backoff events since creation or [reset] — used by ablation
+    benchmarks to count contention. *)

@@ -1,0 +1,5 @@
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let elapsed_ns t0 = now_ns () - t0
+
+let ns_to_s ns = float_of_int ns *. 1e-9

@@ -1,0 +1,14 @@
+(** Monotonic-enough wall clock with nanosecond units.
+
+    Built on [Unix.gettimeofday] (microsecond resolution). All wait-time
+    statistics in this project aggregate many events, so microsecond
+    resolution is sufficient; see DESIGN.md section 2. *)
+
+val now_ns : unit -> int
+(** Current time in nanoseconds since the Unix epoch. *)
+
+val elapsed_ns : int -> int
+(** [elapsed_ns t0] is [now_ns () - t0]. *)
+
+val ns_to_s : int -> float
+(** Convert nanoseconds to seconds. *)

@@ -1,0 +1,7 @@
+let capacity = 256
+
+let counter = Atomic.make 0
+
+let key = Domain.DLS.new_key (fun () -> Atomic.fetch_and_add counter 1 mod capacity)
+
+let get () = Domain.DLS.get key

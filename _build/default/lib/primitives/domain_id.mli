@@ -1,0 +1,12 @@
+(** Small dense per-domain identifiers.
+
+    [Domain.self] ids grow without bound as domains are spawned and joined;
+    statistics arrays need small indices. The first call from a domain
+    allocates the next slot (modulo [capacity]); wrap-around merely merges
+    statistics of long-dead domains, which is harmless. *)
+
+val capacity : int
+(** Number of distinct slots (256). *)
+
+val get : unit -> int
+(** Dense id of the calling domain, in [0, capacity). *)

@@ -1,0 +1,95 @@
+type mode = Read | Write
+
+(* Each domain slot owns a stride of plain ints; only the owning domain
+   writes its stride, so no atomicity is needed there. The stride is padded
+   to a cache line to avoid false sharing between slots. *)
+let stride = 8
+
+type t = {
+  name : string;
+  read_wait : int array;
+  read_count : int array;
+  read_max : int array;
+  write_wait : int array;
+  write_count : int array;
+  write_max : int array;
+}
+
+type snapshot = {
+  read_wait_ns : int;
+  read_count : int;
+  read_max_ns : int;
+  write_wait_ns : int;
+  write_count : int;
+  write_max_ns : int;
+}
+
+let create name =
+  let cells () = Array.make (Domain_id.capacity * stride) 0 in
+  { name; read_wait = cells (); read_count = cells (); read_max = cells ();
+    write_wait = cells (); write_count = cells (); write_max = cells () }
+
+let name t = t.name
+
+let add t mode ns =
+  let i = Domain_id.get () * stride in
+  match mode with
+  | Read ->
+    t.read_wait.(i) <- t.read_wait.(i) + ns;
+    t.read_count.(i) <- t.read_count.(i) + 1;
+    if ns > t.read_max.(i) then t.read_max.(i) <- ns
+  | Write ->
+    t.write_wait.(i) <- t.write_wait.(i) + ns;
+    t.write_count.(i) <- t.write_count.(i) + 1;
+    if ns > t.write_max.(i) then t.write_max.(i) <- ns
+
+let sum a =
+  let acc = ref 0 in
+  let slots = Array.length a / stride in
+  for s = 0 to slots - 1 do
+    acc := !acc + a.(s * stride)
+  done;
+  !acc
+
+let max_of a =
+  let acc = ref 0 in
+  let slots = Array.length a / stride in
+  for s = 0 to slots - 1 do
+    if a.(s * stride) > !acc then acc := a.(s * stride)
+  done;
+  !acc
+
+let snapshot t =
+  { read_wait_ns = sum t.read_wait;
+    read_count = sum t.read_count;
+    read_max_ns = max_of t.read_max;
+    write_wait_ns = sum t.write_wait;
+    write_count = sum t.write_count;
+    write_max_ns = max_of t.write_max }
+
+let reset t =
+  Array.fill t.read_wait 0 (Array.length t.read_wait) 0;
+  Array.fill t.read_count 0 (Array.length t.read_count) 0;
+  Array.fill t.read_max 0 (Array.length t.read_max) 0;
+  Array.fill t.write_wait 0 (Array.length t.write_wait) 0;
+  Array.fill t.write_count 0 (Array.length t.write_count) 0;
+  Array.fill t.write_max 0 (Array.length t.write_max) 0
+
+let avg_wait_ns s = function
+  | Read ->
+    if s.read_count = 0 then 0.0
+    else float_of_int s.read_wait_ns /. float_of_int s.read_count
+  | Write ->
+    if s.write_count = 0 then 0.0
+    else float_of_int s.write_wait_ns /. float_of_int s.write_count
+
+let max_wait_ns s = function
+  | Read -> s.read_max_ns
+  | Write -> s.write_max_ns
+
+let pp_snapshot ppf s =
+  Format.fprintf ppf
+    "read: %d acq, %.0f ns avg wait (max %d); write: %d acq, %.0f ns avg \
+     wait (max %d)"
+    s.read_count (avg_wait_ns s Read) s.read_max_ns s.write_count
+    (avg_wait_ns s Write) s.write_max_ns

@@ -1,0 +1,43 @@
+(** Lock wait-time accounting — a user-space stand-in for the kernel's
+    [lock_stat] facility used in the paper's Figures 7 and 8.
+
+    Waits are accumulated per domain slot (see {!Domain_id}) to avoid
+    turning the statistics themselves into a contention point, and summed on
+    demand. Locks take a [t option]; [None] compiles the instrumentation
+    away to a couple of branches. *)
+
+type t
+
+type mode = Read | Write
+
+type snapshot = {
+  read_wait_ns : int;  (** total nanoseconds spent waiting for read grants *)
+  read_count : int;    (** number of read acquisitions *)
+  read_max_ns : int;   (** worst single read wait *)
+  write_wait_ns : int; (** total nanoseconds spent waiting for write grants *)
+  write_count : int;   (** number of write acquisitions *)
+  write_max_ns : int;  (** worst single write wait *)
+}
+
+val create : string -> t
+(** [create name] makes a fresh accumulator; [name] labels reports. *)
+
+val name : t -> string
+
+val add : t -> mode -> int -> unit
+(** [add t mode ns] records one acquisition in [mode] that waited [ns]. *)
+
+val snapshot : t -> snapshot
+(** Sum across all domain slots. Safe to call concurrently with [add];
+    the result is approximate while writers are active. *)
+
+val reset : t -> unit
+(** Zero all slots. *)
+
+val avg_wait_ns : snapshot -> mode -> float
+(** Average wait per acquisition in the given mode; 0 if no acquisitions. *)
+
+val max_wait_ns : snapshot -> mode -> int
+(** Worst single wait observed in the given mode. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -1,0 +1,22 @@
+let stride = 8 (* 8 words = 64 bytes *)
+
+type t = { cells : int array; slots : int }
+
+let create ~slots =
+  if slots <= 0 then invalid_arg "Padded_counters.create";
+  { cells = Array.make (slots * stride) 0; slots }
+
+let incr t i = t.cells.(i * stride) <- t.cells.(i * stride) + 1
+
+let add t i n = t.cells.(i * stride) <- t.cells.(i * stride) + n
+
+let get t i = t.cells.(i * stride)
+
+let sum t =
+  let acc = ref 0 in
+  for i = 0 to t.slots - 1 do
+    acc := !acc + t.cells.(i * stride)
+  done;
+  !acc
+
+let reset t = Array.fill t.cells 0 (Array.length t.cells) 0

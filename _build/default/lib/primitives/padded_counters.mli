@@ -1,0 +1,15 @@
+(** Per-slot counters padded to cache-line stride.
+
+    Each slot is owned by one domain (writes are plain stores); only
+    cross-slot reads ([sum]) race, and they are used for end-of-run
+    aggregation where approximate in-flight values are acceptable. *)
+
+type t
+
+val create : slots:int -> t
+
+val incr : t -> int -> unit
+val add : t -> int -> int -> unit
+val get : t -> int -> int
+val sum : t -> int
+val reset : t -> unit

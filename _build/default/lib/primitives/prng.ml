@@ -1,0 +1,24 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int (seed lxor 0x9e3779b9) }
+
+(* splitmix64: passes statistical tests, one 64-bit multiply-xor chain. *)
+let next t =
+  let z = Int64.add t.state 0x9E3779B97F4A7C15L in
+  t.state <- z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int (Int64.shift_right_logical z 2)
+
+let below t n =
+  if n <= 0 then invalid_arg "Prng.below: n must be positive";
+  next t mod n
+
+let in_range t ~lo ~hi =
+  if lo >= hi then invalid_arg "Prng.in_range: need lo < hi";
+  lo + below t (hi - lo)
+
+let float t = float_of_int (next t) /. 4611686018427387904.0 (* 2^62 *)
+
+let bool t ~p = float t < p

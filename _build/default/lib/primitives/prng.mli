@@ -1,0 +1,22 @@
+(** Small, fast, deterministic PRNG (splitmix64 core) for workload
+    generation. One instance per domain avoids synchronization; fixed seeds
+    make benchmark runs reproducible. *)
+
+type t
+
+val create : seed:int -> t
+
+val next : t -> int
+(** Next pseudo-random 62-bit non-negative integer. *)
+
+val below : t -> int -> int
+(** [below t n] is uniform in [0, n). Requires [n > 0]. *)
+
+val in_range : t -> lo:int -> hi:int -> int
+(** Uniform in [lo, hi). Requires [lo < hi]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> p:float -> bool
+(** [bool t ~p] is true with probability [p]. *)

@@ -1,0 +1,25 @@
+(** Centralized reader-writer spin lock with writer preference.
+
+    Serves two roles in the reproduction:
+    - the per-segment lock of the pNOVA-style baseline (Kim et al.);
+    - the auxiliary "fair" lock of the paper's Section 4.3 starvation
+      avoidance scheme, where writer preference guarantees that an impatient
+      thread that grabbed the write side eventually gets exclusive access. *)
+
+type t
+
+val create : ?stats:Lockstat.t -> unit -> t
+
+val read_acquire : t -> unit
+val read_release : t -> unit
+val try_read_acquire : t -> bool
+
+val write_acquire : t -> unit
+val write_release : t -> unit
+val try_write_acquire : t -> bool
+
+val with_read : t -> (unit -> 'a) -> 'a
+val with_write : t -> (unit -> 'a) -> 'a
+
+val readers : t -> int
+(** Racy count of active readers (-1 when write-locked); diagnostics only. *)

@@ -1,0 +1,94 @@
+(* A Mutex/Condition implementation: OCaml 5 systhread mutexes are shared
+   across domains, giving us honest sleep/wake semantics. Writer preference
+   mirrors the kernel rwsem's handoff behaviour closely enough for the
+   waiting-policy comparison the paper makes. *)
+
+type t = {
+  m : Mutex.t;
+  cond : Condition.t;
+  mutable readers : int;         (* active readers *)
+  mutable writer : bool;         (* write side held *)
+  mutable writers_waiting : int;
+  spin_budget : int;
+  stats : Lockstat.t option;
+}
+
+let create ?stats ?(spin_budget = 512) () =
+  { m = Mutex.create (); cond = Condition.create ();
+    readers = 0; writer = false; writers_waiting = 0; spin_budget; stats }
+
+let record t mode t0 =
+  match t.stats with
+  | None -> ()
+  | Some s -> Lockstat.add s mode (if t0 = 0 then 0 else Clock.now_ns () - t0)
+
+(* Optimistic spinning outside the mutex: cheap reads of the mutable fields
+   are racy but only used as a hint; the mutex-protected path decides. *)
+let spin_for t pred =
+  let n = ref t.spin_budget in
+  while !n > 0 && not (pred ()) do
+    Domain.cpu_relax ();
+    decr n
+  done
+
+let down_read t =
+  spin_for t (fun () -> (not t.writer) && t.writers_waiting = 0);
+  Mutex.lock t.m;
+  if (not t.writer) && t.writers_waiting = 0 then begin
+    t.readers <- t.readers + 1;
+    Mutex.unlock t.m;
+    record t Lockstat.Read 0
+  end
+  else begin
+    let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in
+    while t.writer || t.writers_waiting > 0 do
+      Condition.wait t.cond t.m
+    done;
+    t.readers <- t.readers + 1;
+    Mutex.unlock t.m;
+    record t Lockstat.Read t0
+  end
+
+let up_read t =
+  Mutex.lock t.m;
+  t.readers <- t.readers - 1;
+  if t.readers = 0 then Condition.broadcast t.cond;
+  Mutex.unlock t.m
+
+let down_write t =
+  spin_for t (fun () -> (not t.writer) && t.readers = 0);
+  Mutex.lock t.m;
+  if (not t.writer) && t.readers = 0 then begin
+    t.writer <- true;
+    Mutex.unlock t.m;
+    record t Lockstat.Write 0
+  end
+  else begin
+    let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in
+    t.writers_waiting <- t.writers_waiting + 1;
+    while t.writer || t.readers > 0 do
+      Condition.wait t.cond t.m
+    done;
+    t.writers_waiting <- t.writers_waiting - 1;
+    t.writer <- true;
+    Mutex.unlock t.m;
+    record t Lockstat.Write t0
+  end
+
+let up_write t =
+  Mutex.lock t.m;
+  t.writer <- false;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.m
+
+let with_read t f =
+  down_read t;
+  match f () with
+  | v -> up_read t; v
+  | exception e -> up_read t; raise e
+
+let with_write t f =
+  down_write t;
+  match f () with
+  | v -> up_write t; v
+  | exception e -> up_write t; raise e

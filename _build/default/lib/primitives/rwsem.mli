@@ -1,0 +1,21 @@
+(** Blocking reader-writer semaphore — the [mmap_sem] stand-in.
+
+    Unlike {!Rwlock}, contended acquisitions *sleep* on a condition variable
+    after a short optimistic spin, reproducing the kernel rwsem waiting
+    policy that the paper contrasts with the range locks' spin-and-recheck
+    policy (Section 7.2: "stock uses a read-write semaphore, in which
+    threads block ... until they are waken up by another thread"). *)
+
+type t
+
+val create : ?stats:Lockstat.t -> ?spin_budget:int -> unit -> t
+(** [spin_budget] is the number of optimistic spin iterations before
+    sleeping (default 512, emulating the kernel's optimistic spinning). *)
+
+val down_read : t -> unit
+val up_read : t -> unit
+val down_write : t -> unit
+val up_write : t -> unit
+
+val with_read : t -> (unit -> 'a) -> 'a
+val with_write : t -> (unit -> 'a) -> 'a

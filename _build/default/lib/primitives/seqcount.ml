@@ -1,0 +1,7 @@
+type t = int Atomic.t
+
+let create () = Atomic.make 0
+
+let read t = Atomic.get t
+
+let bump t = Atomic.incr t

@@ -1,0 +1,14 @@
+(** Sequence counter, as used by the speculative [mprotect] of Listing 4:
+    the [mm] structure's sequence number is incremented every time a
+    full-range write acquisition is released, and compared by speculating
+    operations to detect concurrent structural changes. *)
+
+type t
+
+val create : unit -> t
+
+val read : t -> int
+(** Current sequence number. *)
+
+val bump : t -> unit
+(** Increment (publishes a structural change). *)

@@ -1,0 +1,36 @@
+type t = {
+  locked : bool Atomic.t;
+  stats : Lockstat.t option;
+}
+
+let create ?stats () = { locked = Atomic.make false; stats }
+
+let try_acquire t =
+  (not (Atomic.get t.locked)) && Atomic.compare_and_set t.locked false true
+
+let acquire t =
+  if not (try_acquire t) then begin
+    (* Slow path: time the wait only when instrumented. *)
+    let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in
+    let b = Backoff.create () in
+    while not (try_acquire t) do
+      Backoff.once b
+    done;
+    match t.stats with
+    | None -> ()
+    | Some s -> Lockstat.add s Lockstat.Write (Clock.now_ns () - t0)
+  end
+  else
+    match t.stats with
+    | None -> ()
+    | Some s -> Lockstat.add s Lockstat.Write 0
+
+let release t = Atomic.set t.locked false
+
+let with_lock t f =
+  acquire t;
+  match f () with
+  | v -> release t; v
+  | exception e -> release t; raise e
+
+let is_locked t = Atomic.get t.locked

@@ -1,0 +1,24 @@
+(** Test-and-test-and-set spin lock with exponential backoff.
+
+    This is the auxiliary spin lock of the kernel range-lock implementation
+    that the paper identifies as the scalability bottleneck (Section 3); the
+    tree-based baselines use it to protect their interval tree. *)
+
+type t
+
+val create : ?stats:Lockstat.t -> unit -> t
+(** [create ?stats ()] — when [stats] is given, every contended acquisition
+    records its wait time there (as a {!Lockstat.Write} event). *)
+
+val acquire : t -> unit
+
+val try_acquire : t -> bool
+(** Non-blocking attempt; true on success. *)
+
+val release : t -> unit
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Acquire, run, release — exception-safe. *)
+
+val is_locked : t -> bool
+(** Racy observation, for tests and diagnostics only. *)

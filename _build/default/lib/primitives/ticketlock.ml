@@ -1,0 +1,33 @@
+type t = {
+  next : int Atomic.t;
+  owner : int Atomic.t;
+  stats : Lockstat.t option;
+}
+
+let create ?stats () = { next = Atomic.make 0; owner = Atomic.make 0; stats }
+
+let acquire t =
+  let ticket = Atomic.fetch_and_add t.next 1 in
+  if Atomic.get t.owner = ticket then begin
+    match t.stats with
+    | None -> ()
+    | Some s -> Lockstat.add s Lockstat.Write 0
+  end
+  else begin
+    let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in
+    let b = Backoff.create ~max_log:6 () in
+    while Atomic.get t.owner <> ticket do
+      Backoff.once b
+    done;
+    match t.stats with
+    | None -> ()
+    | Some s -> Lockstat.add s Lockstat.Write (Clock.now_ns () - t0)
+  end
+
+let release t = Atomic.set t.owner (Atomic.get t.owner + 1)
+
+let with_lock t f =
+  acquire t;
+  match f () with
+  | v -> release t; v
+  | exception e -> release t; raise e

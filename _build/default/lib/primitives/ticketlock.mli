@@ -1,0 +1,12 @@
+(** FIFO ticket lock.
+
+    Used by ablation benchmarks to check how the choice of the internal
+    spin lock affects the tree-based range-lock baselines (the kernel uses
+    a fancier queued lock; the paper notes the choice is insignificant). *)
+
+type t
+
+val create : ?stats:Lockstat.t -> unit -> t
+val acquire : t -> unit
+val release : t -> unit
+val with_lock : t -> (unit -> 'a) -> 'a

@@ -1,0 +1,1 @@
+lib/rbtree/interval_tree.ml: Printf Rbtree

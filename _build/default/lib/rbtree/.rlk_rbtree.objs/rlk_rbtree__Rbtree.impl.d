@@ -1,0 +1,1 @@
+lib/rbtree/rbtree.ml: List Option Printf

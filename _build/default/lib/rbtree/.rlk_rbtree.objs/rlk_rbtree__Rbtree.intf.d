@@ -1,0 +1,1 @@
+lib/rbtree/rbtree.mli:

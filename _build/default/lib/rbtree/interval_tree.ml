@@ -1,0 +1,95 @@
+(* Keys are (lo, uid) so equal-lo intervals coexist deterministically; the
+   payload carries hi and the max-end augmentation. *)
+
+module Key = struct
+  type t = { lo : int; uid : int }
+
+  let compare a b =
+    let c = compare a.lo b.lo in
+    if c <> 0 then c else compare a.uid b.uid
+end
+
+module T = Rbtree.Make (Key)
+
+type 'a payload = {
+  hi : int;
+  data : 'a;
+  mutable max_end : int;
+}
+
+type 'a t = { tree : 'a payload T.t; uid : int ref }
+
+type 'a node = 'a payload T.node
+
+let subtree_max = function
+  | None -> min_int
+  | Some n -> (T.value n).max_end
+
+let update n =
+  let v = T.value n in
+  v.max_end <- max v.hi (max (subtree_max (T.left n)) (subtree_max (T.right n)))
+
+let create () = { tree = T.create ~update (); uid = ref 0 }
+
+let size t = T.size t.tree
+
+let is_empty t = T.is_empty t.tree
+
+let insert t ~lo ~hi data =
+  if lo >= hi then invalid_arg "Interval_tree.insert: need lo < hi";
+  let uid = !(t.uid) in
+  t.uid := uid + 1;
+  T.insert t.tree { Key.lo; uid } { hi; data; max_end = hi }
+
+let remove t n = T.remove_node t.tree n
+
+let lo n = (T.key n).Key.lo
+
+let hi n = (T.value n).hi
+
+let data n = (T.value n).data
+
+(* Half-open overlap: [a_lo, a_hi) meets [b_lo, b_hi) iff
+   a_lo < b_hi && b_lo < a_hi. Right subtrees are pruned when the node's lo
+   already reaches past the query; any subtree whose max_end falls at or
+   below the query lo is pruned entirely. *)
+let iter_overlaps t ~lo:qlo ~hi:qhi f =
+  if qlo >= qhi then invalid_arg "Interval_tree.iter_overlaps: need lo < hi";
+  let rec go = function
+    | None -> ()
+    | Some n ->
+      if subtree_max (Some n) > qlo then begin
+        go (T.left n);
+        let nlo = (T.key n).Key.lo in
+        if nlo < qhi then begin
+          if (T.value n).hi > qlo then f n;
+          go (T.right n)
+        end
+      end
+  in
+  go (T.root t.tree)
+
+let iter f t = T.iter f t.tree
+
+let count_overlaps t ~lo ~hi pred =
+  let n = ref 0 in
+  iter_overlaps t ~lo ~hi (fun node -> if pred node then incr n);
+  !n
+
+let check_invariants t =
+  match T.check_invariants t.tree with
+  | Error _ as e -> e
+  | Ok () ->
+    let bad = ref None in
+    let rec verify = function
+      | None -> min_int
+      | Some n ->
+        let l = verify (T.left n) in
+        let r = verify (T.right n) in
+        let expect = max (T.value n).hi (max l r) in
+        if (T.value n).max_end <> expect && !bad = None then
+          bad := Some (Printf.sprintf "max_end stale at lo=%d" (T.key n).Key.lo);
+        expect
+    in
+    ignore (verify (T.root t.tree));
+    (match !bad with None -> Ok () | Some msg -> Error msg)

@@ -1,0 +1,45 @@
+(** Augmented interval tree (max-end red-black tree) over half-open
+    intervals [lo, hi). This is the "range tree" of the kernel range-lock
+    implementation described in Section 3 of the paper: the tree the
+    baselines protect with a spin lock.
+
+    Not thread-safe — callers lock around it, as the kernel does. Duplicate
+    and overlapping intervals are fully supported (each insertion gets a
+    unique internal id). *)
+
+type 'a t
+
+type 'a node
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val insert : 'a t -> lo:int -> hi:int -> 'a -> 'a node
+(** Insert [lo, hi) carrying a payload; requires [lo < hi]. *)
+
+val remove : 'a t -> 'a node -> unit
+(** Unlink a previously inserted node. *)
+
+val lo : 'a node -> int
+
+val hi : 'a node -> int
+
+val data : 'a node -> 'a
+
+val iter_overlaps : 'a t -> lo:int -> hi:int -> ('a node -> unit) -> unit
+(** Visit every stored interval that overlaps [lo, hi), in key order,
+    pruning subtrees via the max-end augmentation. The callback must not
+    modify the tree. *)
+
+val count_overlaps : 'a t -> lo:int -> hi:int -> ('a node -> bool) -> int
+(** Number of overlapping intervals satisfying the extra predicate (the
+    baselines use it to skip reader/reader conflicts). *)
+
+val iter : ('a node -> unit) -> 'a t -> unit
+(** All intervals in key order. *)
+
+val check_invariants : 'a t -> (unit, string) result
+(** Red-black invariants plus correctness of every max-end augmentation. *)

@@ -1,0 +1,388 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Key : ORDERED) = struct
+  type color = Red | Black
+
+  type 'v node = {
+    mutable key : Key.t;
+    mutable value : 'v;
+    mutable left : 'v node option;
+    mutable right : 'v node option;
+    mutable parent : 'v node option;
+    mutable color : color;
+  }
+
+  type 'v t = {
+    mutable root : 'v node option;
+    mutable size : int;
+    update : ('v node -> unit) option;
+  }
+
+  let create ?update () = { root = None; size = 0; update }
+
+  let size t = t.size
+
+  let is_empty t = t.size = 0
+
+  let key n = n.key
+
+  let value n = n.value
+
+  let set_value n v = n.value <- v
+
+  let left n = n.left
+
+  let right n = n.right
+
+  let root t = t.root
+
+  (* Physical identity tests; nodes are mutable records so == is the node
+     identity. *)
+  let opt_is o n = match o with Some m -> m == n | None -> false
+
+  let node_color = function None -> Black | Some n -> n.color
+
+  let update_one t n = match t.update with None -> () | Some f -> f n
+
+  let rec update_upward t n =
+    update_one t n;
+    match n.parent with None -> () | Some p -> update_upward t p
+
+  let refresh_augment t n = update_upward t n
+
+  (* ---- Rotations (CLRS). Both rotated nodes get their augmentation
+     recomputed: the rotation changes exactly their subtree sets. ---- *)
+
+  let left_rotate t x =
+    match x.right with
+    | None -> assert false
+    | Some y ->
+      x.right <- y.left;
+      (match y.left with Some l -> l.parent <- Some x | None -> ());
+      y.parent <- x.parent;
+      (match x.parent with
+       | None -> t.root <- Some y
+       | Some p -> if opt_is p.left x then p.left <- Some y else p.right <- Some y);
+      y.left <- Some x;
+      x.parent <- Some y;
+      update_one t x;
+      update_one t y
+
+  let right_rotate t x =
+    match x.left with
+    | None -> assert false
+    | Some y ->
+      x.left <- y.right;
+      (match y.right with Some r -> r.parent <- Some x | None -> ());
+      y.parent <- x.parent;
+      (match x.parent with
+       | None -> t.root <- Some y
+       | Some p -> if opt_is p.left x then p.left <- Some y else p.right <- Some y);
+      y.right <- Some x;
+      x.parent <- Some y;
+      update_one t x;
+      update_one t y
+
+  (* ---- Queries ---- *)
+
+  let rec min_of n = match n.left with None -> n | Some l -> min_of l
+
+  let rec max_of n = match n.right with None -> n | Some r -> max_of r
+
+  let min_node t = Option.map min_of t.root
+
+  let max_node t = Option.map max_of t.root
+
+  let next n =
+    match n.right with
+    | Some r -> Some (min_of r)
+    | None ->
+      let rec climb n =
+        match n.parent with
+        | None -> None
+        | Some p -> if opt_is p.left n then Some p else climb p
+      in
+      climb n
+
+  let prev n =
+    match n.left with
+    | Some l -> Some (max_of l)
+    | None ->
+      let rec climb n =
+        match n.parent with
+        | None -> None
+        | Some p -> if opt_is p.right n then Some p else climb p
+      in
+      climb n
+
+  let find t k =
+    let rec go = function
+      | None -> None
+      | Some n ->
+        let c = Key.compare k n.key in
+        if c = 0 then Some n else if c < 0 then go n.left else go n.right
+    in
+    go t.root
+
+  let first_satisfying t p =
+    let rec go cur best =
+      match cur with
+      | None -> best
+      | Some n -> if p n then go n.left (Some n) else go n.right best
+    in
+    go t.root None
+
+  let lower_bound t k = first_satisfying t (fun n -> Key.compare n.key k >= 0)
+
+  (* ---- Insertion ---- *)
+
+  let rec insert_fixup t z =
+    match z.parent with
+    | None -> z.color <- Black (* z is root *)
+    | Some p when p.color = Black -> ()
+    | Some p ->
+      (* p is red, hence not the root; grandparent exists. *)
+      let g = match p.parent with Some g -> g | None -> assert false in
+      if opt_is g.left p then begin
+        match g.right with
+        | Some u when u.color = Red ->
+          p.color <- Black; u.color <- Black; g.color <- Red;
+          insert_fixup t g
+        | _ ->
+          (* Case 2: straighten the zig-zag; afterwards the old z is the
+             parent and the old p is the child. *)
+          let p = if opt_is p.right z then (left_rotate t p; z) else p in
+          p.color <- Black;
+          g.color <- Red;
+          right_rotate t g
+      end
+      else begin
+        match g.left with
+        | Some u when u.color = Red ->
+          p.color <- Black; u.color <- Black; g.color <- Red;
+          insert_fixup t g
+        | _ ->
+          let p = if opt_is p.left z then (right_rotate t p; z) else p in
+          p.color <- Black;
+          g.color <- Red;
+          left_rotate t g
+      end
+
+  let insert t k v =
+    let z = { key = k; value = v; left = None; right = None; parent = None; color = Red } in
+    let rec descend n =
+      if Key.compare k n.key < 0 then
+        match n.left with None -> (z.parent <- Some n; n.left <- Some z) | Some l -> descend l
+      else
+        match n.right with None -> (z.parent <- Some n; n.right <- Some z) | Some r -> descend r
+    in
+    (match t.root with None -> t.root <- Some z | Some r -> descend r);
+    t.size <- t.size + 1;
+    insert_fixup t z;
+    (match t.root with Some r -> r.color <- Black | None -> assert false);
+    update_upward t z;
+    z
+
+  (* ---- Deletion ---- *)
+
+  let transplant t u v =
+    (match u.parent with
+     | None -> t.root <- v
+     | Some p -> if opt_is p.left u then p.left <- v else p.right <- v);
+    match v with Some vn -> vn.parent <- u.parent | None -> ()
+
+  (* x (possibly nil) sits under x_parent (None iff x is the root) carrying
+     an extra black; restore the red-black invariants. *)
+  let rec delete_fixup t x x_parent =
+    match x_parent with
+    | None -> (match x with Some n -> n.color <- Black | None -> ())
+    | Some p ->
+      let x_is_left =
+        match x with Some n -> opt_is p.left n | None -> p.left = None
+      in
+      if node_color x = Red then (match x with Some n -> n.color <- Black | None -> assert false)
+      else if x_is_left then begin
+        (* x is the left child (nil x: the left slot is empty). *)
+        let w = match p.right with Some w -> w | None -> assert false in
+        if w.color = Red then begin
+          w.color <- Black;
+          p.color <- Red;
+          left_rotate t p;
+          delete_fixup t x x_parent
+        end
+        else if node_color w.left = Black && node_color w.right = Black then begin
+          w.color <- Red;
+          delete_fixup t (Some p) p.parent
+        end
+        else begin
+          let w =
+            if node_color w.right = Black then begin
+              (match w.left with Some wl -> wl.color <- Black | None -> assert false);
+              w.color <- Red;
+              right_rotate t w;
+              match p.right with Some w' -> w' | None -> assert false
+            end
+            else w
+          in
+          w.color <- p.color;
+          p.color <- Black;
+          (match w.right with Some wr -> wr.color <- Black | None -> assert false);
+          left_rotate t p;
+          (match t.root with Some r -> r.color <- Black | None -> ())
+        end
+      end
+      else begin
+        (* Mirror image: x is the right child. *)
+        let w = match p.left with Some w -> w | None -> assert false in
+        if w.color = Red then begin
+          w.color <- Black;
+          p.color <- Red;
+          right_rotate t p;
+          delete_fixup t x x_parent
+        end
+        else if node_color w.left = Black && node_color w.right = Black then begin
+          w.color <- Red;
+          delete_fixup t (Some p) p.parent
+        end
+        else begin
+          let w =
+            if node_color w.left = Black then begin
+              (match w.right with Some wr -> wr.color <- Black | None -> assert false);
+              w.color <- Red;
+              left_rotate t w;
+              match p.left with Some w' -> w' | None -> assert false
+            end
+            else w
+          in
+          w.color <- p.color;
+          p.color <- Black;
+          (match w.left with Some wl -> wl.color <- Black | None -> assert false);
+          right_rotate t p;
+          (match t.root with Some r -> r.color <- Black | None -> ())
+        end
+      end
+
+  let remove_node t z =
+    let y_color = ref z.color in
+    let x = ref None and x_parent = ref None in
+    (match z.left, z.right with
+     | None, zr ->
+       x := zr;
+       x_parent := z.parent;
+       transplant t z zr
+     | zl, None ->
+       x := zl;
+       x_parent := z.parent;
+       transplant t z zl
+     | Some _, Some zr ->
+       let y = min_of zr in
+       y_color := y.color;
+       x := y.right;
+       if opt_is y.parent z then x_parent := Some y
+       else begin
+         x_parent := y.parent;
+         transplant t y y.right;
+         y.right <- z.right;
+         (match y.right with Some r -> r.parent <- Some y | None -> assert false)
+       end;
+       transplant t z (Some y);
+       y.left <- z.left;
+       (match y.left with Some l -> l.parent <- Some y | None -> assert false);
+       y.color <- z.color);
+    t.size <- t.size - 1;
+    (* Detach the removed node so stale handles fail fast. *)
+    z.left <- None; z.right <- None; z.parent <- None;
+    (match !x_parent with
+     | Some p -> update_upward t p
+     | None -> (match t.root with Some r -> update_one t r | None -> ()));
+    if !y_color = Black then delete_fixup t !x !x_parent;
+    (* Fixup rotations refreshed the rotated nodes; refresh the path once
+       more in case the surgery point moved. *)
+    (match !x_parent with Some p -> update_upward t p | None -> ())
+
+  let remove t k =
+    match find t k with
+    | None -> false
+    | Some n -> remove_node t n; true
+
+  let reset_key t n k =
+    (match prev n with
+     | Some p when Key.compare p.key k > 0 ->
+       invalid_arg "Rbtree.reset_key: new key below predecessor"
+     | _ -> ());
+    (match next n with
+     | Some s when Key.compare k s.key > 0 ->
+       invalid_arg "Rbtree.reset_key: new key above successor"
+     | _ -> ());
+    n.key <- k;
+    update_upward t n
+
+  (* ---- Iteration ---- *)
+
+  let iter f t =
+    let rec go = function
+      | None -> ()
+      | Some n -> go n.left; f n; go n.right
+    in
+    go t.root
+
+  let fold f acc t =
+    let rec go acc = function
+      | None -> acc
+      | Some n ->
+        let acc = go acc n.left in
+        let acc = f acc n in
+        go acc n.right
+    in
+    go acc t.root
+
+  let to_list t = List.rev (fold (fun acc n -> (n.key, n.value) :: acc) [] t)
+
+  (* ---- Invariant checking (tests only) ---- *)
+
+  exception Violation of string
+
+  let check_invariants t =
+    let count = ref 0 in
+    (* Returns the black height of the subtree. *)
+    let rec go n parent =
+      match n with
+      | None -> 1
+      | Some x ->
+        incr count;
+        if not (match x.parent, parent with
+                | None, None -> true
+                | Some p, Some q -> p == q
+                | _ -> false)
+        then raise (Violation "parent pointer mismatch");
+        (match parent, x.color with
+         | Some p, Red when p.color = Red -> raise (Violation "red node with red parent")
+         | _ -> ());
+        let hl = go x.left (Some x) in
+        let hr = go x.right (Some x) in
+        if hl <> hr then raise (Violation "black height mismatch");
+        hl + (if x.color = Black then 1 else 0)
+    in
+    try
+      (match t.root with
+       | Some r when r.color = Red -> raise (Violation "red root")
+       | _ -> ());
+      ignore (go t.root None);
+      if !count <> t.size then
+        raise (Violation (Printf.sprintf "size mismatch: counted %d, recorded %d" !count t.size));
+      (* In-order key sequence must be non-decreasing. *)
+      let last = ref None in
+      iter
+        (fun n ->
+           (match !last with
+            | Some k when Key.compare k n.key > 0 -> raise (Violation "BST order violated")
+            | _ -> ());
+           last := Some n.key)
+        t;
+      Ok ()
+    with Violation msg -> Error msg
+end

@@ -1,0 +1,110 @@
+(** Imperative red-black tree with parent pointers and an augmentation
+    hook — the substrate for both the kernel-style range tree baseline
+    (Section 3 of the paper) and the VM simulator's [mm_rb] (Section 5).
+
+    The tree is {e not} thread-safe: every user wraps it in its own lock
+    (the spin lock of the tree range lock; the range lock / rwsem of the VM
+    subsystem), exactly as in the systems being reproduced.
+
+    Duplicate keys are allowed (equal keys order to the right); deletion is
+    by node handle, so duplicates are unambiguous. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Key : ORDERED) : sig
+  type 'v t
+
+  type 'v node
+
+  val create : ?update:('v node -> unit) -> unit -> 'v t
+  (** [create ?update ()] — when given, [update] recomputes a node's
+      augmented data (stored inside ['v]) from its children; it is invoked
+      bottom-up on every node whose subtree changed shape or content. *)
+
+  val size : 'v t -> int
+
+  val is_empty : 'v t -> bool
+
+  (** {1 Node accessors} *)
+
+  val key : 'v node -> Key.t
+
+  val value : 'v node -> 'v
+
+  val set_value : 'v node -> 'v -> unit
+  (** Replace the payload. Does {e not} rerun the augmentation; call
+      {!refresh_augment} afterwards if the augmented data may change. *)
+
+  val left : 'v node -> 'v node option
+
+  val right : 'v node -> 'v node option
+
+  val root : 'v t -> 'v node option
+  (** For augmented traversals (e.g. interval stabbing) that need to start
+      at the top with pruning. *)
+
+  val refresh_augment : 'v t -> 'v node -> unit
+  (** Rerun the [update] hook from this node up to the root. *)
+
+  (** {1 Queries} *)
+
+  val find : 'v t -> Key.t -> 'v node option
+  (** Any node with an equal key. *)
+
+  val first_satisfying : 'v t -> ('v node -> bool) -> 'v node option
+  (** First node, in key order, satisfying a predicate that is monotone in
+      key order (false on a prefix, true on the suffix). This is the shape
+      of the kernel's [find_vma] lookup. *)
+
+  val lower_bound : 'v t -> Key.t -> 'v node option
+  (** First node with key >= the given key. *)
+
+  val min_node : 'v t -> 'v node option
+
+  val max_node : 'v t -> 'v node option
+
+  val next : 'v node -> 'v node option
+  (** In-order successor. *)
+
+  val prev : 'v node -> 'v node option
+  (** In-order predecessor. *)
+
+  (** {1 Updates} *)
+
+  val insert : 'v t -> Key.t -> 'v -> 'v node
+  (** Insert and return the new node's handle. *)
+
+  val remove_node : 'v t -> 'v node -> unit
+  (** Unlink the given node. The handle must belong to this tree and must
+      not have been removed already. *)
+
+  val remove : 'v t -> Key.t -> bool
+  (** Remove one node with an equal key; false if none exists. *)
+
+  val reset_key : 'v t -> 'v node -> Key.t -> unit
+  (** Change a node's key {e in place}, without any rebalancing — the
+      kernel's [vma_adjust] trick: a VMA boundary shift changes the key
+      ([vm_start]) but provably preserves the node's order relative to its
+      neighbours, so the tree shape (and hence concurrent readers' view of
+      the structure) is untouched. Raises [Invalid_argument] if the new key
+      would violate the in-order position. *)
+
+  (** {1 Iteration} *)
+
+  val iter : ('v node -> unit) -> 'v t -> unit
+  (** In-order. The callback must not modify the tree. *)
+
+  val fold : ('acc -> 'v node -> 'acc) -> 'acc -> 'v t -> 'acc
+
+  val to_list : 'v t -> (Key.t * 'v) list
+
+  (** {1 Verification} *)
+
+  val check_invariants : 'v t -> (unit, string) result
+  (** Validates BST order, red-black coloring rules, black-height balance,
+      parent-pointer consistency and the recorded size. For tests. *)
+end

@@ -1,0 +1,1 @@
+lib/skiplist/optimistic.ml: Array Atomic Backoff List Rlk_primitives Sl_node Spinlock

@@ -1,0 +1,1 @@
+lib/skiplist/optimistic.mli: Skiplist_intf

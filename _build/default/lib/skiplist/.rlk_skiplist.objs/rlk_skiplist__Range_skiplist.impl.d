@@ -1,0 +1,1 @@
+lib/skiplist/range_skiplist.ml: Array Atomic Backoff List Rlk Rlk_baselines Rlk_primitives Sl_node Spinlock

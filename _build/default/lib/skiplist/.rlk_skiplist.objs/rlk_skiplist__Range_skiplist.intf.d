@@ -1,0 +1,1 @@
+lib/skiplist/range_skiplist.mli: Rlk Skiplist_intf

@@ -1,0 +1,1 @@
+lib/skiplist/sl_node.ml: Array Atomic Domain Domain_id Int List Printf Prng Rlk_primitives Set Spinlock

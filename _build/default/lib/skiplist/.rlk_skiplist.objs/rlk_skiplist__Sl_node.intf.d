@@ -1,0 +1,1 @@
+lib/skiplist/sl_node.mli: Atomic Rlk_primitives

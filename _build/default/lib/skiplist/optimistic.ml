@@ -1,0 +1,159 @@
+open Rlk_primitives
+
+type t = { head : Sl_node.t; tail : Sl_node.t }
+
+let name = "orig"
+
+let create () =
+  let head, tail = Sl_node.make_sentinels () in
+  { head; tail }
+
+(* Fresh pred/succ scratch arrays per operation; sized once. Initialized
+   with the head (any node would do: find overwrites every slot). *)
+let scratch head = Array.make Sl_node.max_level head
+
+let contains t key =
+  let preds = scratch t.head and succs = scratch t.head in
+  let lfound = Sl_node.find ~head:t.head key ~preds ~succs in
+  lfound >= 0
+  && Atomic.get succs.(lfound).Sl_node.fully_linked
+  && not (Atomic.get succs.(lfound).Sl_node.marked)
+
+(* Lock each distinct predecessor from level 0 up; returns the locked nodes
+   in locking order. Skips a node already locked at a lower level. *)
+let lock_preds preds ~top =
+  let locked = ref [] in
+  (try
+     for level = 0 to top do
+       let p = preds.(level) in
+       let already = List.exists (fun q -> q == p) !locked in
+       if not already then begin
+         Spinlock.acquire p.Sl_node.lock;
+         locked := p :: !locked
+       end
+     done
+   with e ->
+     List.iter (fun p -> Spinlock.release p.Sl_node.lock) !locked;
+     raise e);
+  !locked
+
+let unlock_all locked =
+  List.iter (fun p -> Spinlock.release p.Sl_node.lock) locked
+
+let add t key =
+  if key < 0 then invalid_arg "Optimistic.add: keys must be non-negative";
+  let top = Sl_node.random_level () in
+  let preds = scratch t.head and succs = scratch t.head in
+  let rec attempt () =
+    let lfound = Sl_node.find ~head:t.head key ~preds ~succs in
+    if lfound >= 0 then begin
+      let found = succs.(lfound) in
+      if not (Atomic.get found.Sl_node.marked) then begin
+        (* Wait for a concurrent inserter to finish, then report duplicate. *)
+        let b = Backoff.create () in
+        while not (Atomic.get found.Sl_node.fully_linked) do
+          Backoff.once b
+        done;
+        false
+      end
+      else attempt () (* being removed: retry *)
+    end
+    else begin
+      let locked = lock_preds preds ~top in
+      let valid = ref true in
+      for level = 0 to top do
+        let p = preds.(level) and s = succs.(level) in
+        if Atomic.get p.Sl_node.marked
+           || Atomic.get s.Sl_node.marked
+           || Atomic.get p.Sl_node.next.(level) != s
+        then valid := false
+      done;
+      if not !valid then begin
+        unlock_all locked;
+        attempt ()
+      end
+      else begin
+        let node = Sl_node.make ~key ~top_level:top ~tail:t.tail () in
+        for level = 0 to top do
+          Atomic.set node.Sl_node.next.(level) succs.(level)
+        done;
+        for level = 0 to top do
+          Atomic.set preds.(level).Sl_node.next.(level) node
+        done;
+        Atomic.set node.Sl_node.fully_linked true;
+        unlock_all locked;
+        true
+      end
+    end
+  in
+  attempt ()
+
+let remove t key =
+  if key < 0 then invalid_arg "Optimistic.remove: keys must be non-negative";
+  let preds = scratch t.head and succs = scratch t.head in
+  (* [victim] is set once we have marked a node; marking wins the right to
+     unlink it. *)
+  let rec attempt ~marked_victim =
+    let lfound = Sl_node.find ~head:t.head key ~preds ~succs in
+    match marked_victim with
+    | None ->
+      if lfound < 0 then false
+      else begin
+        let victim = succs.(lfound) in
+        if victim.Sl_node.top_level <> lfound
+           || (not (Atomic.get victim.Sl_node.fully_linked))
+           || Atomic.get victim.Sl_node.marked
+        then false
+        else begin
+          Spinlock.acquire victim.Sl_node.lock;
+          if Atomic.get victim.Sl_node.marked then begin
+            Spinlock.release victim.Sl_node.lock;
+            false
+          end
+          else begin
+            Atomic.set victim.Sl_node.marked true;
+            (* Victim stays locked until unlinked. *)
+            attempt ~marked_victim:(Some victim)
+          end
+        end
+      end
+    | Some victim ->
+      let top = victim.Sl_node.top_level in
+      let locked = lock_preds preds ~top in
+      let valid = ref true in
+      for level = 0 to top do
+        let p = preds.(level) in
+        if Atomic.get p.Sl_node.marked || Atomic.get p.Sl_node.next.(level) != victim
+        then valid := false
+      done;
+      if not !valid then begin
+        unlock_all locked;
+        attempt ~marked_victim:(Some victim)
+      end
+      else begin
+        for level = top downto 0 do
+          Atomic.set preds.(level).Sl_node.next.(level)
+            (Atomic.get victim.Sl_node.next.(level))
+        done;
+        Spinlock.release victim.Sl_node.lock;
+        unlock_all locked;
+        true
+      end
+  in
+  attempt ~marked_victim:None
+
+let size t =
+  let rec go acc (n : Sl_node.t) =
+    if n.Sl_node.key = Sl_node.tail_key then acc
+    else go (acc + 1) (Atomic.get n.Sl_node.next.(0))
+  in
+  go 0 (Atomic.get t.head.Sl_node.next.(0))
+
+let to_list t =
+  let rec go acc (n : Sl_node.t) =
+    if n.Sl_node.key = Sl_node.tail_key then List.rev acc
+    else go (n.Sl_node.key :: acc) (Atomic.get n.Sl_node.next.(0))
+  in
+  go [] (Atomic.get t.head.Sl_node.next.(0))
+
+let check_invariants t = Sl_node.check_structure ~head:t.head

@@ -1,0 +1,10 @@
+(** The original optimistic (lazy) skip list of Herlihy, Lev, Luchangco and
+    Shavit — the [orig] baseline of the paper's Figure 4.
+
+    Searches are wait-free. Updates search optimistically without locks,
+    then lock every distinct predecessor of the affected tower (between 1
+    and [max_level] spin locks, plus the victim's own lock for removals),
+    validate that nothing moved, and apply. Every node carries its own spin
+    lock. *)
+
+include Skiplist_intf.SET

@@ -1,0 +1,178 @@
+open Rlk_primitives
+
+module Make (L : Rlk.Intf.MUTEX) = struct
+  type t = {
+    head : Sl_node.t;
+    tail : Sl_node.t;
+    rlock : L.t;
+    shared_node_lock : Spinlock.t; (* one dummy lock for every node *)
+  }
+
+  let name = "range-" ^ L.name
+
+  let create () =
+    let head, tail = Sl_node.make_sentinels () in
+    { head; tail; rlock = L.create (); shared_node_lock = Spinlock.create () }
+
+  let scratch head = Array.make Sl_node.max_level head
+
+  let contains t key =
+    let preds = scratch t.head and succs = scratch t.head in
+    let lfound = Sl_node.find ~head:t.head key ~preds ~succs in
+    lfound >= 0
+    && Atomic.get succs.(lfound).Sl_node.fully_linked
+    && not (Atomic.get succs.(lfound).Sl_node.marked)
+
+  (* Key space -> lock space: the head sentinel (key -1) maps to 0. *)
+  let ls key = key + 1
+
+  (* Insert range: [pred-at-top.key .. key]; remove range additionally
+     covers key+1 (Section 6: "plus 1 ... to avoid races with inserts that
+     may attempt to update pointers in the to-be-deleted node"). *)
+  let insert_range ~pred_key ~key = Rlk.Range.v ~lo:(ls pred_key) ~hi:(ls key + 1)
+
+  let remove_range ~pred_key ~key = Rlk.Range.v ~lo:(ls pred_key) ~hi:(ls key + 2)
+
+  let add t key =
+    if key < 0 then invalid_arg "Range_skiplist.add: keys must be non-negative";
+    let top = Sl_node.random_level () in
+    let preds = scratch t.head and succs = scratch t.head in
+    let rec attempt () =
+      let lfound = Sl_node.find ~head:t.head key ~preds ~succs in
+      if lfound >= 0 then begin
+        let found = succs.(lfound) in
+        if not (Atomic.get found.Sl_node.marked) then begin
+          let b = Backoff.create () in
+          while not (Atomic.get found.Sl_node.fully_linked) do
+            Backoff.once b
+          done;
+          false
+        end
+        else attempt ()
+      end
+      else begin
+        let h = L.acquire t.rlock (insert_range ~pred_key:preds.(top).Sl_node.key ~key) in
+        let valid = ref true in
+        for level = 0 to top do
+          let p = preds.(level) and s = succs.(level) in
+          if Atomic.get p.Sl_node.marked
+             || Atomic.get s.Sl_node.marked
+             || Atomic.get p.Sl_node.next.(level) != s
+          then valid := false
+        done;
+        if not !valid then begin
+          L.release t.rlock h;
+          attempt ()
+        end
+        else begin
+          let node =
+            Sl_node.make ~lock:t.shared_node_lock ~key ~top_level:top
+              ~tail:t.tail ()
+          in
+          for level = 0 to top do
+            Atomic.set node.Sl_node.next.(level) succs.(level)
+          done;
+          for level = 0 to top do
+            Atomic.set preds.(level).Sl_node.next.(level) node
+          done;
+          Atomic.set node.Sl_node.fully_linked true;
+          L.release t.rlock h;
+          true
+        end
+      end
+    in
+    attempt ()
+
+  let remove t key =
+    if key < 0 then invalid_arg "Range_skiplist.remove: keys must be non-negative";
+    let preds = scratch t.head and succs = scratch t.head in
+    let rec attempt () =
+      let lfound = Sl_node.find ~head:t.head key ~preds ~succs in
+      if lfound < 0 then false
+      else begin
+        let victim = succs.(lfound) in
+        if victim.Sl_node.top_level <> lfound
+           || (not (Atomic.get victim.Sl_node.fully_linked))
+           || Atomic.get victim.Sl_node.marked
+        then false
+        else begin
+          let top = victim.Sl_node.top_level in
+          let h =
+            L.acquire t.rlock (remove_range ~pred_key:preds.(top).Sl_node.key ~key)
+          in
+          if Atomic.get victim.Sl_node.marked then begin
+            (* Lost the race to another remover. *)
+            L.release t.rlock h;
+            false
+          end
+          else begin
+            let valid = ref true in
+            for level = 0 to top do
+              let p = preds.(level) in
+              if Atomic.get p.Sl_node.marked
+                 || Atomic.get p.Sl_node.next.(level) != victim
+              then valid := false
+            done;
+            if not !valid then begin
+              L.release t.rlock h;
+              attempt ()
+            end
+            else begin
+              Atomic.set victim.Sl_node.marked true;
+              for level = top downto 0 do
+                Atomic.set preds.(level).Sl_node.next.(level)
+                  (Atomic.get victim.Sl_node.next.(level))
+              done;
+              L.release t.rlock h;
+              true
+            end
+          end
+        end
+      end
+    in
+    attempt ()
+
+  let size t =
+    let rec go acc (n : Sl_node.t) =
+      if n.Sl_node.key = Sl_node.tail_key then acc
+      else go (acc + 1) (Atomic.get n.Sl_node.next.(0))
+    in
+    go 0 (Atomic.get t.head.Sl_node.next.(0))
+
+  let to_list t =
+    let rec go acc (n : Sl_node.t) =
+      if n.Sl_node.key = Sl_node.tail_key then List.rev acc
+      else go (n.Sl_node.key :: acc) (Atomic.get n.Sl_node.next.(0))
+    in
+    go [] (Atomic.get t.head.Sl_node.next.(0))
+
+  let check_invariants t = Sl_node.check_structure ~head:t.head
+
+  let lock_metrics _t () = ""
+end
+
+module Over_list = struct
+  include Make (Rlk.Intf.List_mutex_impl)
+
+  let name = "range-list"
+end
+
+module Lustre_as_mutex = struct
+  type t = Rlk_baselines.Tree_mutex.t
+
+  type handle = Rlk_baselines.Tree_mutex.handle
+
+  let name = "lustre"
+
+  let create ?stats () = Rlk_baselines.Tree_mutex.create ?stats ()
+
+  let acquire = Rlk_baselines.Tree_mutex.acquire
+
+  let release = Rlk_baselines.Tree_mutex.release
+end
+
+module Over_lustre = struct
+  include Make (Lustre_as_mutex)
+
+  let name = "range-lustre"
+end

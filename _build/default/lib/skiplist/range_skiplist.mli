@@ -1,0 +1,25 @@
+(** Range-lock based skip list — Section 6 of the paper.
+
+    Built on the optimistic skip list, but the per-node spin locks are
+    replaced by a single range lock over the key space: an insert acquires
+    the range from the highest-level predecessor's key to the target key;
+    a remove extends that by one past the target key (so racing inserts
+    just after the victim conflict). One range acquisition per update,
+    instead of up to [max_level + 1] node locks; searches stay wait-free.
+
+    Every node shares one dummy lock object, so the per-node lock storage
+    of the original design is genuinely gone. *)
+
+module Make (L : Rlk.Intf.MUTEX) : sig
+  include Skiplist_intf.SET
+
+  val lock_metrics : t -> unit -> string
+  (** Human-readable snapshot of the underlying range lock's counters when
+      the lock exposes them (empty otherwise); diagnostics. *)
+end
+
+(** [range-list]: over the paper's exclusive list-based range lock. *)
+module Over_list : Skiplist_intf.SET
+
+(** [range-lustre]: over the tree-based kernel range lock. *)
+module Over_lustre : Skiplist_intf.SET

@@ -1,0 +1,35 @@
+(** Common signature for the concurrent skip-list set implementations
+    compared in the paper's Figure 4 (Synchrobench-style integer sets).
+
+    Keys must be non-negative: the range-lock variant maps keys into the
+    lock's range space with the head sentinel at 0. *)
+
+module type SET = sig
+  type t
+
+  val name : string
+  (** Label used in the paper's plot: ["orig"], ["range-list"],
+      ["range-lustre"]. *)
+
+  val create : unit -> t
+
+  val add : t -> int -> bool
+  (** [add t k] inserts [k]; false if already present. Linearizable. *)
+
+  val remove : t -> int -> bool
+  (** [remove t k] deletes [k]; false if absent. Linearizable. *)
+
+  val contains : t -> int -> bool
+  (** Wait-free membership test (never acquires any lock). *)
+
+  val size : t -> int
+  (** Number of elements; accurate only on a quiescent set. *)
+
+  val to_list : t -> int list
+  (** Ascending elements; quiescent use only. *)
+
+  val check_invariants : t -> (unit, string) result
+  (** Level ordering and tower consistency; quiescent use only. *)
+end
+
+type set_impl = (module SET)

@@ -1,0 +1,106 @@
+open Rlk_primitives
+
+type t = {
+  key : int;
+  next : t Atomic.t array;
+  marked : bool Atomic.t;
+  fully_linked : bool Atomic.t;
+  lock : Spinlock.t;
+  top_level : int;
+}
+
+let max_level = 16
+
+let head_key = -1
+
+let tail_key = max_int
+
+let make ?lock ~key ~top_level ~tail () =
+  let lock = match lock with Some l -> l | None -> Spinlock.create () in
+  { key;
+    next = Array.init (top_level + 1) (fun _ -> Atomic.make tail);
+    marked = Atomic.make false;
+    fully_linked = Atomic.make false;
+    lock;
+    top_level }
+
+let make_sentinels () =
+  (* The tail's tower is never followed (no key exceeds [tail_key]); it
+     points at an unlinked stub so that any bug following it fails loudly
+     on the stub's empty tower. *)
+  let stub =
+    { key = tail_key;
+      next = [||];
+      marked = Atomic.make false;
+      fully_linked = Atomic.make true;
+      lock = Spinlock.create ();
+      top_level = max_level - 1 }
+  in
+  let tail = { stub with next = Array.init max_level (fun _ -> Atomic.make stub) } in
+  let head = make ~key:head_key ~top_level:(max_level - 1) ~tail () in
+  Atomic.set head.fully_linked true;
+  (head, tail)
+
+let rng_key =
+  Domain.DLS.new_key (fun () ->
+      Prng.create ~seed:(0x5eed + (Domain_id.get () * 2654435761)))
+
+let random_level () =
+  let rng = Domain.DLS.get rng_key in
+  let rec go l = if l < max_level - 1 && Prng.bool rng ~p:0.5 then go (l + 1) else l in
+  go 0
+
+let find ~head key ~preds ~succs =
+  let lfound = ref (-1) in
+  let pred = ref head in
+  for level = max_level - 1 downto 0 do
+    let cur = ref (Atomic.get !pred.next.(level)) in
+    while !cur.key < key do
+      pred := !cur;
+      cur := Atomic.get !cur.next.(level)
+    done;
+    if !lfound = -1 && !cur.key = key then lfound := level;
+    preds.(level) <- !pred;
+    succs.(level) <- !cur
+  done;
+  !lfound
+
+let check_structure ~head =
+  let exception Bad of string in
+  try
+    (* Collect the bottom level. *)
+    let rec bottom acc n =
+      if n.key = tail_key then List.rev acc
+      else begin
+        if Atomic.get n.marked then raise (Bad (Printf.sprintf "marked node %d" n.key));
+        if not (Atomic.get n.fully_linked) then
+          raise (Bad (Printf.sprintf "half-linked node %d" n.key));
+        bottom (n.key :: acc) (Atomic.get n.next.(0))
+      end
+    in
+    let level0 = bottom [] (Atomic.get head.next.(0)) in
+    let rec sorted = function
+      | a :: (b :: _ as rest) ->
+        if a >= b then raise (Bad "level 0 not strictly ascending");
+        sorted rest
+      | _ -> ()
+    in
+    sorted level0;
+    let module S = Set.Make (Int) in
+    let base = S.of_list level0 in
+    for level = 1 to max_level - 1 do
+      let rec walk prev n =
+        if n.key <> tail_key then begin
+          if n.key <= prev then
+            raise (Bad (Printf.sprintf "level %d not ascending at %d" level n.key));
+          if not (S.mem n.key base) then
+            raise (Bad (Printf.sprintf "level %d node %d missing at level 0" level n.key));
+          if n.top_level < level then
+            raise (Bad (Printf.sprintf "node %d linked above its top level" n.key));
+          walk n.key (Atomic.get n.next.(level))
+        end
+      in
+      walk head_key (Atomic.get head.next.(level))
+    done;
+    Ok ()
+  with Bad m -> Error m

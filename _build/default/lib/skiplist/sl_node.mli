@@ -1,0 +1,50 @@
+(** Node structure and wait-free search shared by the skip-list variants.
+
+    Successor pointers, the deletion mark and the full-linkage flag are
+    atomics so that the wait-free [contains]/[find] traversals are
+    well-defined under concurrent updates (the OCaml analogue of the
+    volatile fields in Herlihy et al.'s Java implementation).
+
+    Each node carries a spin lock slot: the optimistic variant allocates a
+    fresh lock per node, while the range-lock variant shares one dummy lock
+    across all nodes — reproducing the memory-footprint difference the
+    paper claims for the range-lock design (Section 6). *)
+
+type t = {
+  key : int;
+  next : t Atomic.t array; (** towers; length = top_level + 1 *)
+  marked : bool Atomic.t;
+  fully_linked : bool Atomic.t;
+  lock : Rlk_primitives.Spinlock.t;
+  top_level : int;
+}
+
+val max_level : int
+(** 16 levels, matching typical Synchrobench settings. *)
+
+val head_key : int
+(** -1; user keys must be >= 0. *)
+
+val tail_key : int
+(** [max_int]. *)
+
+val make : ?lock:Rlk_primitives.Spinlock.t -> key:int -> top_level:int -> tail:t -> unit -> t
+(** A fresh node whose tower initially points at [tail]. Without [lock], a
+    private spin lock is allocated (optimistic variant). *)
+
+val make_sentinels : unit -> t * t
+(** Fresh [(head, tail)] pair; head's tower points at tail at every level,
+    and both are fully linked. *)
+
+val random_level : unit -> int
+(** Geometric with p = 1/2, in [0, max_level); domain-local PRNG. *)
+
+val find : head:t -> int -> preds:t array -> succs:t array -> int
+(** The shared wait-free search: fills per-level predecessors/successors
+    for the key and returns the highest level at which the key was found
+    (or -1). Arrays must have length {!max_level}. *)
+
+val check_structure : head:t -> (unit, string) result
+(** Quiescent validation: strictly ascending keys at every level, every
+    level-l tower member present at level l-1, no marked or half-linked
+    nodes left behind. *)

@@ -1,0 +1,1 @@
+lib/structures/range_bst.mli: Rlk

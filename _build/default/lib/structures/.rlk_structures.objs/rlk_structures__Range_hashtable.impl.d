@@ -1,0 +1,1 @@
+lib/structures/range_hashtable.ml: Array Atomic Hashtbl List Printf Rlk

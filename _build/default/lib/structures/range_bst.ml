@@ -1,0 +1,143 @@
+module Make (L : Rlk.Intf.RW) = struct
+  type node = {
+    key : int;
+    marked : bool Atomic.t;
+    left : node option Atomic.t;
+    right : node option Atomic.t;
+  }
+
+  type t = {
+    lock : L.t;
+    root : node option Atomic.t;
+    live : int Atomic.t;
+    dead : int Atomic.t;
+  }
+
+  let lock_name = L.name
+
+  let create () =
+    { lock = L.create ();
+      root = Atomic.make None;
+      live = Atomic.make 0;
+      dead = Atomic.make 0 }
+
+  let fresh key =
+    { key;
+      marked = Atomic.make false;
+      left = Atomic.make None;
+      right = Atomic.make None }
+
+  let unit_range k = Rlk.Range.v ~lo:k ~hi:(k + 1)
+
+  (* Lock-free search: the node with [key], or the child cell where it
+     would attach. *)
+  let rec locate cell key =
+    match Atomic.get cell with
+    | None -> Error cell
+    | Some n ->
+      if key = n.key then Ok n
+      else if key < n.key then locate n.left key
+      else locate n.right key
+
+  let contains t key =
+    match locate t.root key with
+    | Ok n -> not (Atomic.get n.marked)
+    | Error _ -> false
+
+  (* Updates CAS against each other and hold the key's unit range in read
+     mode only to exclude the compactor (which owns the full range). *)
+  let add t key =
+    if key < 0 || key >= max_int then invalid_arg "Range_bst.add: key out of range";
+    let h = L.read_acquire t.lock (unit_range key) in
+    let rec attempt () =
+      match locate t.root key with
+      | Ok n ->
+        if Atomic.compare_and_set n.marked true false then begin
+          (* Revived a tombstone. *)
+          Atomic.incr t.live;
+          Atomic.decr t.dead;
+          true
+        end
+        else if Atomic.get n.marked then attempt () (* racing remove: retry *)
+        else false (* already present *)
+      | Error cell ->
+        if Atomic.compare_and_set cell None (Some (fresh key)) then begin
+          Atomic.incr t.live;
+          true
+        end
+        else attempt () (* someone attached here first *)
+    in
+    let r = attempt () in
+    L.release t.lock h;
+    r
+
+  let remove t key =
+    let h = L.read_acquire t.lock (unit_range key) in
+    let rec attempt () =
+      match locate t.root key with
+      | Error _ -> false
+      | Ok n ->
+        if Atomic.compare_and_set n.marked false true then begin
+          Atomic.decr t.live;
+          Atomic.incr t.dead;
+          true
+        end
+        else if not (Atomic.get n.marked) then attempt () (* racing add *)
+        else false (* already tombstoned *)
+    in
+    let r = attempt () in
+    L.release t.lock h;
+    r
+
+  let size t = Atomic.get t.live
+
+  let tombstones t = Atomic.get t.dead
+
+  let live_keys t =
+    let rec walk acc = function
+      | None -> acc
+      | Some n ->
+        let acc = walk acc (Atomic.get n.right) in
+        let acc = if Atomic.get n.marked then acc else n.key :: acc in
+        walk acc (Atomic.get n.left)
+    in
+    walk [] (Atomic.get t.root)
+
+  (* Balanced rebuild from a sorted array. *)
+  let rec build keys lo hi =
+    if lo >= hi then None
+    else begin
+      let mid = (lo + hi) / 2 in
+      let n = fresh keys.(mid) in
+      Atomic.set n.left (build keys lo mid);
+      Atomic.set n.right (build keys (mid + 1) hi);
+      Some n
+    end
+
+  let compact t =
+    let h = L.write_acquire t.lock Rlk.Range.full in
+    let keys = Array.of_list (live_keys t) in
+    Atomic.set t.root (build keys 0 (Array.length keys));
+    Atomic.set t.dead 0;
+    L.release t.lock h
+
+  let to_list t = live_keys t
+
+  let check_invariants t =
+    let exception Bad of string in
+    try
+      let live = ref 0 and dead = ref 0 in
+      let rec walk lo hi = function
+        | None -> ()
+        | Some n ->
+          if n.key < lo || n.key >= hi then raise (Bad "BST order violated");
+          if Atomic.get n.marked then incr dead else incr live;
+          walk lo n.key (Atomic.get n.left);
+          walk (n.key + 1) hi (Atomic.get n.right)
+      in
+      walk min_int max_int (Atomic.get t.root);
+      if !live <> Atomic.get t.live then raise (Bad "live count mismatch");
+      if !dead <> Atomic.get t.dead then raise (Bad "tombstone count mismatch");
+      Ok ()
+    with Bad m -> Error m
+end

@@ -1,0 +1,51 @@
+(** A concurrent binary search tree coordinated by a range lock — the
+    second structure named in the paper's conclusion.
+
+    The design mirrors how the VM subsystem uses its range lock: point
+    operations are cheap and structural maintenance is rare.
+
+    - [contains] is lock-free (it only follows atomic child pointers and
+      reads tombstone marks).
+    - [add]/[remove] take the key's unit range in {e read} mode. Mutual
+      atomicity between updates comes from CAS on child pointers and marks;
+      the read-mode acquisition exists to conflict with the compactor, the
+      way page faults conflict with structural VM operations.
+    - Removal only plants a tombstone; {!compact} takes the {e full range
+      in write mode}, excluding every update, and rebuilds a balanced tree
+      without the tombstones.
+
+    Unbalanced growth between compactions is the standard tombstone
+    trade-off; [compact] also rebalances. Keys are ints in
+    [0, max_int). *)
+
+module Make (L : Rlk.Intf.RW) : sig
+  type t
+
+  val lock_name : string
+
+  val create : unit -> t
+
+  val add : t -> int -> bool
+  (** False if already present (and not tombstoned). *)
+
+  val remove : t -> int -> bool
+  (** Tombstones the key; false if absent. *)
+
+  val contains : t -> int -> bool
+  (** Lock-free. *)
+
+  val size : t -> int
+  (** Live keys (excluding tombstones). *)
+
+  val tombstones : t -> int
+  (** Current tombstone count (approximate while updates run). *)
+
+  val compact : t -> unit
+  (** Rebuild without tombstones, balanced; full-range write acquisition. *)
+
+  val to_list : t -> int list
+  (** Ascending live keys; quiescent use only. *)
+
+  val check_invariants : t -> (unit, string) result
+  (** BST order and counter consistency; quiescent use only. *)
+end

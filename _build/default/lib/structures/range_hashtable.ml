@@ -1,0 +1,155 @@
+module Make (L : Rlk.Intf.RW) = struct
+  let hash_bits = 30
+
+  let hash_space = 1 lsl hash_bits
+
+  type ('k, 'v) t = {
+    lock : L.t;
+    mutable table : ('k * 'v) list array; (* length is a power of two *)
+    length : int Atomic.t;
+    resizes : int Atomic.t;
+  }
+
+  let lock_name = L.name
+
+  let rec log2 n = if n <= 1 then 0 else 1 + log2 (n lsr 1)
+
+  let round_pow2 n =
+    let rec go p = if p >= n then p else go (p * 2) in
+    go 1
+
+  let create ?(initial_buckets = 16) () =
+    if initial_buckets <= 0 || initial_buckets > 1 lsl 20 then
+      invalid_arg "Range_hashtable.create: unreasonable bucket count";
+    { lock = L.create ();
+      table = Array.make (round_pow2 initial_buckets) [];
+      length = Atomic.make 0;
+      resizes = Atomic.make 0 }
+
+  let hash k = Hashtbl.hash k land (hash_space - 1)
+
+  let bucket_shift tbl = hash_bits - log2 (Array.length tbl)
+
+  (* Run [f] on the bucket owning hash [h], under that bucket's hash-range
+     acquisition. The table pointer is re-validated after acquiring: a
+     resize (full-range write) may have swapped it in between, in which
+     case the bucket boundaries changed and we retry. Once the range is
+     held, resizers are excluded and the table is stable. *)
+  let rec with_bucket t h ~write f =
+    let tbl = t.table in
+    let shift = bucket_shift tbl in
+    let b = h lsr shift in
+    let r = Rlk.Range.v ~lo:(b lsl shift) ~hi:((b + 1) lsl shift) in
+    let handle =
+      if write then L.write_acquire t.lock r else L.read_acquire t.lock r
+    in
+    if t.table != tbl then begin
+      L.release t.lock handle;
+      with_bucket t h ~write f
+    end
+    else begin
+      let result = f tbl b in
+      L.release t.lock handle;
+      result
+    end
+
+  let find t k =
+    let h = hash k in
+    with_bucket t h ~write:false (fun tbl b -> List.assoc_opt k tbl.(b))
+
+  let mem t k = find t k <> None
+
+  let remove t k =
+    let h = hash k in
+    with_bucket t h ~write:true (fun tbl b ->
+        if List.mem_assoc k tbl.(b) then begin
+          tbl.(b) <- List.remove_assoc k tbl.(b);
+          Atomic.decr t.length;
+          true
+        end
+        else false)
+
+  (* Double the table under the full range; splitting a bucket's hash range
+     in two redistributes its chain across exactly two new buckets. *)
+  let resize t ~expected_buckets =
+    let handle = L.write_acquire t.lock Rlk.Range.full in
+    if Array.length t.table = expected_buckets
+       && expected_buckets * 2 <= hash_space
+    then begin
+      let old = t.table in
+      let fresh = Array.make (Array.length old * 2) [] in
+      let shift = bucket_shift fresh in
+      Array.iter
+        (List.iter (fun ((k, _) as binding) ->
+             let b = hash k lsr shift in
+             fresh.(b) <- binding :: fresh.(b)))
+        old;
+      t.table <- fresh;
+      Atomic.incr t.resizes
+    end;
+    L.release t.lock handle
+
+  let put t k v =
+    let h = hash k in
+    let outcome, grew =
+      with_bucket t h ~write:true (fun tbl b ->
+          let chain = tbl.(b) in
+          if List.mem_assoc k chain then begin
+            tbl.(b) <- (k, v) :: List.remove_assoc k chain;
+            (`Replaced, None)
+          end
+          else begin
+            tbl.(b) <- (k, v) :: chain;
+            Atomic.incr t.length;
+            (* Load factor check under the lock; the resize itself happens
+               after release (it needs the full range). *)
+            let need =
+              if Atomic.get t.length > 2 * Array.length tbl then
+                Some (Array.length tbl)
+              else None
+            in
+            (`Added, need)
+          end)
+    in
+    (match grew with
+     | Some expected_buckets -> resize t ~expected_buckets
+     | None -> ());
+    outcome
+
+  let add t k v = ignore (put t k v)
+
+  let length t = Atomic.get t.length
+
+  let buckets t = Array.length t.table
+
+  let resizes t = Atomic.get t.resizes
+
+  let to_list t =
+    Array.fold_left (fun acc chain -> List.rev_append chain acc) [] t.table
+
+  let check_invariants t =
+    let tbl = t.table in
+    let shift = bucket_shift tbl in
+    let count = ref 0 in
+    let bad = ref None in
+    Array.iteri
+      (fun b chain ->
+         let keys = List.map fst chain in
+         if List.length keys <> List.length (List.sort_uniq compare keys) then
+           bad := Some (Printf.sprintf "duplicate keys in bucket %d" b);
+         List.iter
+           (fun (k, _) ->
+              incr count;
+              if hash k lsr shift <> b then
+                bad := Some (Printf.sprintf "misplaced key in bucket %d" b))
+           chain)
+      tbl;
+    match !bad with
+    | Some m -> Error m
+    | None ->
+      if !count <> Atomic.get t.length then
+        Error
+          (Printf.sprintf "length mismatch: counted %d, recorded %d" !count
+             (Atomic.get t.length))
+      else Ok ()
+end

@@ -1,0 +1,54 @@
+(** A concurrent resizable hash table built on one range lock — the
+    paper's concluding suggestion that range locks can serve as building
+    blocks for "other concurrent data structures, such as hash tables".
+
+    The lock covers the {e hash space} [0, 2^30), not the bucket array:
+    with [n] (a power of two) buckets, bucket [b] owns the contiguous hash
+    range [b * 2^30/n, (b+1) * 2^30/n), so
+
+    - an operation locks exactly its bucket's hash range (read mode for
+      lookups, write mode for updates) — disjoint buckets proceed in
+      parallel, lookups in one bucket share;
+    - resizing locks the full range, excluding everything, and doubling
+      the bucket count only {e splits} each range in two — the same range
+      lock keeps protecting the same keys at finer granularity afterwards,
+      with no per-bucket lock array to reallocate.
+
+    Keys are arbitrary (hashed with [Hashtbl.hash]); the table is an
+    upsert map. *)
+
+module Make (L : Rlk.Intf.RW) : sig
+  type ('k, 'v) t
+
+  val lock_name : string
+
+  val create : ?initial_buckets:int -> unit -> ('k, 'v) t
+  (** [initial_buckets] rounds up to a power of two (default 16). *)
+
+  val find : ('k, 'v) t -> 'k -> 'v option
+
+  val mem : ('k, 'v) t -> 'k -> bool
+
+  val put : ('k, 'v) t -> 'k -> 'v -> [ `Added | `Replaced ]
+  (** Insert or replace, reporting which happened. Triggers a doubling
+      resize when the load factor exceeds 2. *)
+
+  val add : ('k, 'v) t -> 'k -> 'v -> unit
+  (** [put] with the outcome ignored. *)
+
+  val remove : ('k, 'v) t -> 'k -> bool
+
+  val length : ('k, 'v) t -> int
+
+  val buckets : ('k, 'v) t -> int
+
+  val resizes : ('k, 'v) t -> int
+  (** Completed doubling migrations. *)
+
+  val to_list : ('k, 'v) t -> ('k * 'v) list
+  (** Quiescent snapshot, unordered. *)
+
+  val check_invariants : ('k, 'v) t -> (unit, string) result
+  (** Every binding hashes to the bucket that holds it; recorded length
+      matches; no duplicate keys. Quiescent use only. *)
+end

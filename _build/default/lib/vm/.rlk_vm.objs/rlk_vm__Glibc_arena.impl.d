@@ -1,0 +1,1 @@
+lib/vm/glibc_arena.ml: Atomic Mm_ops Page Prot Result Sync

@@ -1,0 +1,1 @@
+lib/vm/glibc_arena.mli: Mm_ops Sync

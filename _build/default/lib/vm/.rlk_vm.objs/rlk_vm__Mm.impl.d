@@ -1,0 +1,1 @@
+lib/vm/mm.ml: Atomic Format Int List Option Page Prot Rlk Rlk_primitives Rlk_rbtree Seqcount Vma

@@ -1,0 +1,1 @@
+lib/vm/mm.mli: Rlk Rlk_primitives Vma

@@ -1,0 +1,1 @@
+lib/vm/mm_ops.ml: Format List Mm Page Prot Result Rlk Sim_work Vma

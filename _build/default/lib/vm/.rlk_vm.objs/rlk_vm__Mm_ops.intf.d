@@ -1,0 +1,1 @@
+lib/vm/mm_ops.mli: Format Mm Prot Rlk Vma

@@ -1,0 +1,1 @@
+lib/vm/sim_work.ml: Array Domain Sys

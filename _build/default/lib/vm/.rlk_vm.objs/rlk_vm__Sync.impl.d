@@ -1,0 +1,1 @@
+lib/vm/sync.ml: Domain_id List Mm Mm_ops Padded_counters Page Rlk Rlk_baselines Rlk_primitives Rwsem Vma

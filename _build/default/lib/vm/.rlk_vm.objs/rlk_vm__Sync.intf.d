@@ -1,0 +1,1 @@
+lib/vm/sync.mli: Mm Mm_ops Prot Rlk Rlk_primitives

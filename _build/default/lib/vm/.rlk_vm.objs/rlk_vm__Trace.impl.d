@@ -1,0 +1,1 @@
+lib/vm/trace.ml: Array Format List Mm_ops Page Printf Prot Result Rlk_primitives String Sync

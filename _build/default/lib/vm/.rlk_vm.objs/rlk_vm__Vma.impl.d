@@ -1,0 +1,1 @@
+lib/vm/vma.ml: Atomic Format Page Prot Rlk

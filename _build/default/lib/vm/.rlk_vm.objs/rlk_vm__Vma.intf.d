@@ -1,0 +1,1 @@
+lib/vm/vma.mli: Format Prot Rlk

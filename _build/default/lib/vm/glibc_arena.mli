@@ -1,0 +1,46 @@
+(** Simulation of a GLIBC-malloc per-thread arena — the allocation pattern
+    that makes the paper's speculative mprotect pay off (Section 1: arenas
+    are initialized by [mmap]ing a large chunk and [mprotect]ing the pages
+    actually in use; those calls only expand or shrink the VMA boundary).
+
+    An arena is one [PROT_NONE] mapping. [malloc] bump-allocates; when the
+    bump pointer crosses the committed frontier the arena issues
+    [mprotect(frontier_extension, READ|WRITE)] — a boundary shift between
+    the RW VMA and the NONE VMA, i.e. exactly the speculative-friendly
+    case. [reset] frees everything and, past a trim threshold, returns
+    memory with [mprotect(PROT_NONE)] — the shrink boundary shift. Writes
+    to allocated memory are simulated by {!touch}, which drives the page
+    fault handler. *)
+
+type t
+
+val create :
+  Sync.t -> ?size:int -> ?trim_threshold:int -> unit -> (t, Mm_ops.error) result
+(** Reserve an arena ([size] defaults to 4 MiB, trim threshold to 128 KiB,
+    both rounded up to pages). *)
+
+val base : t -> int
+
+val size : t -> int
+
+val committed_bytes : t -> int
+(** Current size of the read-write region. *)
+
+val used_bytes : t -> int
+
+val malloc : t -> int -> (int, Mm_ops.error) result
+(** Allocate (8-byte aligned); expands the committed region on demand.
+    Fails with [Enomem] when the arena is exhausted. *)
+
+val touch : t -> addr:int -> len:int -> (unit, [ `Segv ]) result
+(** Write to the region: one page fault per page touched. *)
+
+val malloc_touched : t -> int -> (int, Mm_ops.error) result
+(** [malloc] followed by a write {!touch} of the whole block. *)
+
+val reset : t -> (unit, Mm_ops.error) result
+(** Free everything; shrink the committed region back to the trim
+    threshold when it grew beyond it. *)
+
+val destroy : t -> (unit, Mm_ops.error) result
+(** Unmap the arena. *)

@@ -1,0 +1,111 @@
+open Rlk_primitives
+module Tree = Rlk_rbtree.Rbtree.Make (Int)
+
+type t = {
+  rb : Vma.t Tree.t;
+  seq : Seqcount.t;
+  structural : int Atomic.t;
+}
+
+let create () =
+  { rb = Tree.create (); seq = Seqcount.create (); structural = Atomic.make 0 }
+
+let seq t = t.seq
+
+let vma_count t = Tree.size t.rb
+
+let structural_changes t = Atomic.get t.structural
+
+let find_vma t addr =
+  Option.map Tree.value
+    (Tree.first_satisfying t.rb (fun n -> (Tree.value n).Vma.end_ > addr))
+
+let find_vma_at t addr =
+  match find_vma t addr with
+  | Some v when Vma.contains v addr -> Some v
+  | _ -> None
+
+let node_of t vma =
+  match Tree.find t.rb vma.Vma.start_ with
+  | Some n when Tree.value n == vma -> n
+  | _ -> invalid_arg "Mm: VMA is not in this address space"
+
+let next_vma t vma = Option.map Tree.value (Tree.next (node_of t vma))
+
+let prev_vma t vma = Option.map Tree.value (Tree.prev (node_of t vma))
+
+let overlapping t r =
+  let acc = ref [] in
+  let rec walk = function
+    | None -> ()
+    | Some n ->
+      let v = Tree.value n in
+      if v.Vma.start_ < Rlk.Range.hi r then begin
+        if v.Vma.end_ > Rlk.Range.lo r then acc := v :: !acc;
+        walk (Tree.next n)
+      end
+  in
+  walk (Tree.first_satisfying t.rb (fun n -> (Tree.value n).Vma.end_ > Rlk.Range.lo r));
+  List.rev !acc
+
+let insert t vma =
+  (match overlapping t (Vma.range vma) with
+   | [] -> ()
+   | v :: _ ->
+     invalid_arg
+       (Format.asprintf "Mm.insert: %a overlaps %a" Vma.pp vma Vma.pp v));
+  ignore (Tree.insert t.rb vma.Vma.start_ vma);
+  Atomic.incr t.structural
+
+let remove t vma =
+  Tree.remove_node t.rb (node_of t vma);
+  Atomic.incr t.structural
+
+let adjust t vma ~new_start ~new_end =
+  if not (Page.is_aligned new_start && Page.is_aligned new_end) then
+    invalid_arg "Mm.adjust: bounds must be page-aligned";
+  if new_start < 0 || new_start >= new_end then
+    invalid_arg "Mm.adjust: need 0 <= start < end";
+  let n = node_of t vma in
+  (match Tree.prev n with
+   | Some p when (Tree.value p).Vma.end_ > new_start ->
+     invalid_arg "Mm.adjust: would overlap predecessor"
+   | _ -> ());
+  (match Tree.next n with
+   | Some s when (Tree.value s).Vma.start_ < new_end ->
+     invalid_arg "Mm.adjust: would overlap successor"
+   | _ -> ());
+  vma.Vma.end_ <- new_end;
+  if vma.Vma.start_ <> new_start then begin
+    vma.Vma.start_ <- new_start;
+    Tree.reset_key t.rb n new_start
+  end
+
+let iter f t = Tree.iter (fun n -> f (Tree.value n)) t.rb
+
+let to_list t = List.rev (Tree.fold (fun acc n -> Tree.value n :: acc) [] t.rb)
+
+let check_invariants t =
+  match Tree.check_invariants t.rb with
+  | Error m -> Error ("rbtree: " ^ m)
+  | Ok () ->
+    let rec check = function
+      | [] | [ _ ] -> Ok ()
+      | a :: (b :: _ as rest) ->
+        if a.Vma.end_ > b.Vma.start_ then
+          Error (Format.asprintf "overlap: %a then %a" Vma.pp a Vma.pp b)
+        else if a.Vma.end_ = b.Vma.start_ && Prot.equal a.Vma.prot b.Vma.prot then
+          Error (Format.asprintf "unmerged neighbours: %a / %a" Vma.pp a Vma.pp b)
+        else check rest
+    in
+    let aligned v = Page.is_aligned v.Vma.start_ && Page.is_aligned v.Vma.end_ in
+    let vmas = to_list t in
+    (match List.find_opt (fun v -> not (aligned v)) vmas with
+     | Some v -> Error (Format.asprintf "unaligned: %a" Vma.pp v)
+     | None ->
+       (* Tree keys must track the (mutable) start addresses; [node_of]
+          looks nodes up by start and verifies identity, so a stale key
+          surfaces as Invalid_argument here. *)
+       (match List.iter (fun v -> ignore (node_of t v)) vmas with
+        | () -> check vmas
+        | exception Invalid_argument m -> Error m))

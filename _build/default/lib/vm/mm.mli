@@ -1,0 +1,57 @@
+(** The simulated address space: [mm_rb] (a red-black tree of VMAs keyed by
+    start address) plus the sequence number used by speculative operations
+    (Listing 4 of the paper).
+
+    All functions here assume the caller holds whatever lock the chosen
+    synchronization strategy requires; this module performs no locking —
+    exactly like the kernel's [mm] helpers. Structural mutations (node
+    insertion/removal) are counted; in-place boundary shifts and protection
+    changes are not, because concurrent tree readers cannot observe them as
+    shape changes. *)
+
+type t
+
+val create : unit -> t
+
+val seq : t -> Rlk_primitives.Seqcount.t
+(** Bumped by the sync layer when a full-range write acquisition is
+    released (a structural change may have been published). *)
+
+val vma_count : t -> int
+
+val structural_changes : t -> int
+(** Total node insertions + removals so far. *)
+
+val find_vma : t -> int -> Vma.t option
+(** Kernel semantics: the first VMA whose end is greater than the address
+    (it may start above the address). *)
+
+val find_vma_at : t -> int -> Vma.t option
+(** The VMA containing the address, if any. *)
+
+val next_vma : t -> Vma.t -> Vma.t option
+(** Successor in address order. The VMA must be in the tree. *)
+
+val prev_vma : t -> Vma.t -> Vma.t option
+
+val overlapping : t -> Rlk.Range.t -> Vma.t list
+(** VMAs intersecting the range, in address order. *)
+
+val insert : t -> Vma.t -> unit
+(** Structural. The VMA must not overlap any existing one. *)
+
+val remove : t -> Vma.t -> unit
+(** Structural. *)
+
+val adjust : t -> Vma.t -> new_start:int -> new_end:int -> unit
+(** In-place boundary shift (non-structural); the new bounds must be
+    page-aligned, non-empty, and must not change the VMA's order relative
+    to its neighbours or overlap them. *)
+
+val iter : (Vma.t -> unit) -> t -> unit
+
+val to_list : t -> Vma.t list
+
+val check_invariants : t -> (unit, string) result
+(** Red-black invariants, page alignment, strict disjointness, address
+    order, and canonical form (no adjacent VMAs with equal protection). *)

@@ -1,0 +1,293 @@
+type error = Enomem | Einval | Eexist
+
+let pp_error ppf = function
+  | Enomem -> Format.pp_print_string ppf "ENOMEM"
+  | Einval -> Format.pp_print_string ppf "EINVAL"
+  | Eexist -> Format.pp_print_string ppf "EEXIST"
+
+(* Lowest address handed out by the address allocator, mirroring a typical
+   mmap base; and an upper bound for the simulated address space. *)
+let mmap_base = 0x10000
+
+let addr_max = 1 lsl 46
+
+let ( let* ) = Result.bind
+
+(* ---------------- mmap ---------------- *)
+
+let find_free_region mm ~len =
+  (* First fit in address order. *)
+  let rec scan candidate = function
+    | [] -> if candidate + len <= addr_max then Some candidate else None
+    | v :: rest ->
+      if candidate + len <= v.Vma.start_ then Some candidate
+      else scan (max candidate v.Vma.end_) rest
+  in
+  scan mmap_base (Mm.to_list mm)
+
+(* Merge [vma] with adjacent equal-protection neighbours, keeping the
+   canonical no-adjacent-equal-prot form. Structural when it fires. *)
+let merge_neighbours mm vma =
+  let vma =
+    match Mm.prev_vma mm vma with
+    | Some p when p.Vma.end_ = vma.Vma.start_ && Prot.equal p.Vma.prot vma.Vma.prot ->
+      let new_end = vma.Vma.end_ in
+      Mm.remove mm vma;
+      Mm.adjust mm p ~new_start:p.Vma.start_ ~new_end;
+      p
+    | _ -> vma
+  in
+  match Mm.next_vma mm vma with
+  | Some n when vma.Vma.end_ = n.Vma.start_ && Prot.equal vma.Vma.prot n.Vma.prot ->
+    let new_end = n.Vma.end_ in
+    Mm.remove mm n;
+    Mm.adjust mm vma ~new_start:vma.Vma.start_ ~new_end;
+    vma
+  | _ -> vma
+
+let mmap mm ?addr ~len ~prot () =
+  if len <= 0 then Error Einval
+  else begin
+    let len = Page.align_up len in
+    let* start_ =
+      match addr with
+      | Some a ->
+        if not (Page.is_aligned a) then Error Einval
+        else if a < 0 || a + len > addr_max then Error Enomem
+        else if Mm.overlapping mm (Rlk.Range.v ~lo:a ~hi:(a + len)) <> [] then
+          Error Eexist
+        else Ok a
+      | None ->
+        (match find_free_region mm ~len with
+         | Some a -> Ok a
+         | None -> Error Enomem)
+    in
+    let vma = Vma.make ~start_ ~end_:(start_ + len) ~prot in
+    Mm.insert mm vma;
+    ignore (merge_neighbours mm vma);
+    Ok start_
+  end
+
+(* ---------------- splitting ---------------- *)
+
+(* Ensure no VMA straddles [cut]: if one does, split it there. *)
+let split_at mm cut =
+  match Mm.find_vma_at mm cut with
+  | Some v when v.Vma.start_ < cut ->
+    let tail = Vma.make ~start_:cut ~end_:v.Vma.end_ ~prot:v.Vma.prot in
+    Mm.adjust mm v ~new_start:v.Vma.start_ ~new_end:cut;
+    Mm.insert mm tail
+  | _ -> ()
+
+(* ---------------- munmap ---------------- *)
+
+let munmap mm ~addr ~len =
+  if len <= 0 || not (Page.is_aligned addr) then Error Einval
+  else begin
+    let s = addr and e = Page.align_up (addr + len) in
+    split_at mm s;
+    split_at mm e;
+    List.iter (Mm.remove mm) (Mm.overlapping mm (Rlk.Range.v ~lo:s ~hi:e));
+    Ok ()
+  end
+
+(* ---------------- mprotect ---------------- *)
+
+type classification =
+  | Nop
+  | Metadata of meta_plan
+  | Structural
+
+and meta_plan =
+  | Whole_vma of Vma.t
+  | Shift_from_prev of Vma.t * Vma.t
+  | Shift_into_next of Vma.t * Vma.t
+  | Adjust_end of Vma.t * int (* brk: move the heap VMA's end in place *)
+
+(* The whole [s, e) must be mapped with no gaps (kernel ENOMEM rule). *)
+let check_coverage mm ~s ~e =
+  let rec walk pos =
+    if pos >= e then Ok ()
+    else
+      match Mm.find_vma_at mm pos with
+      | None -> Error Enomem
+      | Some v -> walk v.Vma.end_
+  in
+  walk s
+
+let aligned_span ~addr ~len =
+  if len <= 0 || not (Page.is_aligned addr) then Error Einval
+  else Ok (addr, Page.align_up (addr + len))
+
+let classify_mprotect mm ~addr ~len ~prot =
+  let* s, e = aligned_span ~addr ~len in
+  let* () = check_coverage mm ~s ~e in
+  match Mm.find_vma_at mm s with
+  | None -> Error Enomem
+  | Some v ->
+    if e > v.Vma.end_ then Ok Structural (* spans several VMAs *)
+    else if Prot.equal v.Vma.prot prot then Ok Nop
+    else if s = v.Vma.start_ && e = v.Vma.end_ then begin
+      (* Whole VMA: a resulting merge with either neighbour is structural. *)
+      let merges_prev =
+        match Mm.prev_vma mm v with
+        | Some p -> p.Vma.end_ = v.Vma.start_ && Prot.equal p.Vma.prot prot
+        | None -> false
+      and merges_next =
+        match Mm.next_vma mm v with
+        | Some n -> v.Vma.end_ = n.Vma.start_ && Prot.equal n.Vma.prot prot
+        | None -> false
+      in
+      if merges_prev || merges_next then Ok Structural
+      else Ok (Metadata (Whole_vma v))
+    end
+    else if s = v.Vma.start_ then begin
+      (* Head of v: absorbed by an adjacent predecessor with the target
+         protection (Figure 2), otherwise a split. *)
+      match Mm.prev_vma mm v with
+      | Some p when p.Vma.end_ = v.Vma.start_ && Prot.equal p.Vma.prot prot ->
+        Ok (Metadata (Shift_from_prev (p, v)))
+      | _ -> Ok Structural
+    end
+    else if e = v.Vma.end_ then begin
+      match Mm.next_vma mm v with
+      | Some n when v.Vma.end_ = n.Vma.start_ && Prot.equal n.Vma.prot prot ->
+        Ok (Metadata (Shift_into_next (v, n)))
+      | _ -> Ok Structural
+    end
+    else Ok Structural (* strict middle: split into three *)
+
+let apply_metadata mm ~s ~e ~prot = function
+  | Whole_vma v -> v.Vma.prot <- prot
+  | Shift_from_prev (p, v) ->
+    (* p grows to e; v's head recedes to e. Order of adjustments matters:
+       shrink v first so the ranges never overlap. *)
+    Mm.adjust mm v ~new_start:e ~new_end:v.Vma.end_;
+    Mm.adjust mm p ~new_start:p.Vma.start_ ~new_end:e
+  | Shift_into_next (v, n) ->
+    Mm.adjust mm v ~new_start:v.Vma.start_ ~new_end:s;
+    Mm.adjust mm n ~new_start:s ~new_end:n.Vma.end_
+  | Adjust_end (v, new_end) -> Mm.adjust mm v ~new_start:v.Vma.start_ ~new_end
+
+(* Restore the canonical no-adjacent-equal-prot form over [s, e] plus the
+   immediate neighbours on each side. *)
+let canonicalize mm ~s ~e =
+  let rec walk v =
+    if v.Vma.start_ <= e then
+      match Mm.next_vma mm v with
+      | Some n when v.Vma.end_ = n.Vma.start_ && Prot.equal v.Vma.prot n.Vma.prot ->
+        let new_end = n.Vma.end_ in
+        Mm.remove mm n;
+        Mm.adjust mm v ~new_start:v.Vma.start_ ~new_end;
+        walk v
+      | Some n -> walk n
+      | None -> ()
+  in
+  (* First VMA whose end reaches s (covers adjacent predecessors too). *)
+  match Mm.find_vma mm (max 0 (s - 1)) with
+  | Some v -> walk v
+  | None -> ()
+
+(* General path (full lock held): split at both cuts, retag, re-merge. *)
+let apply_structural mm ~s ~e ~prot =
+  split_at mm s;
+  split_at mm e;
+  let affected = Mm.overlapping mm (Rlk.Range.v ~lo:s ~hi:e) in
+  List.iter (fun v -> v.Vma.prot <- prot) affected;
+  canonicalize mm ~s ~e
+
+(* PTE rewrites + TLB shootdown share for every page whose protection
+   changes — under whichever lock the caller holds. *)
+let mprotect_page_work ~s ~e =
+  for _ = 1 to (e - s) / Page.size do
+    Sim_work.mprotect_page ()
+  done
+
+let apply_mprotect mm ~addr ~len ~prot ~allow_structural =
+  let* c = classify_mprotect mm ~addr ~len ~prot in
+  let* s, e = aligned_span ~addr ~len in
+  match c with
+  | Nop -> Ok (`Applied Nop)
+  | Metadata plan ->
+    apply_metadata mm ~s ~e ~prot plan;
+    mprotect_page_work ~s ~e;
+    Ok (`Applied c)
+  | Structural ->
+    if not allow_structural then Ok `Needs_structural
+    else begin
+      apply_structural mm ~s ~e ~prot;
+      mprotect_page_work ~s ~e;
+      Ok (`Applied c)
+    end
+
+(* ---------------- brk ---------------- *)
+
+let current_break mm ~heap_base =
+  match Mm.find_vma_at mm heap_base with
+  | Some v when v.Vma.start_ = heap_base -> v.Vma.end_
+  | _ -> heap_base
+
+(* The program break: one RW VMA rooted at [heap_base]. Growing or
+   shrinking it is an in-place end adjustment (speculative-friendly);
+   creating or destroying the heap VMA is structural. *)
+let classify_brk mm ~heap_base ~new_break =
+  if (not (Page.is_aligned heap_base)) || new_break < heap_base then Error Einval
+  else begin
+    let nb = Page.align_up new_break in
+    match Mm.find_vma_at mm heap_base with
+    | Some v when v.Vma.start_ = heap_base ->
+      if nb = v.Vma.end_ then Ok Nop
+      else if nb = heap_base then Ok Structural (* heap disappears *)
+      else if nb < v.Vma.end_ then Ok (Metadata (Adjust_end (v, nb)))
+      else begin
+        (* Growing: the space up to nb must be free. *)
+        match Mm.next_vma mm v with
+        | Some n when n.Vma.start_ < nb -> Error Enomem
+        | _ -> Ok (Metadata (Adjust_end (v, nb)))
+      end
+    | Some _ -> Error Eexist (* heap base inside a foreign mapping *)
+    | None ->
+      if nb = heap_base then Ok Nop
+      else if Mm.overlapping mm (Rlk.Range.v ~lo:heap_base ~hi:nb) <> [] then
+        Error Enomem
+      else Ok Structural (* first expansion creates the heap VMA *)
+  end
+
+let apply_brk mm ~heap_base ~new_break ~allow_structural =
+  let* c = classify_brk mm ~heap_base ~new_break in
+  match c with
+  | Nop -> Ok (`Applied Nop)
+  | Metadata (Adjust_end (v, nb) as plan) ->
+    let old_end = v.Vma.end_ in
+    apply_metadata mm ~s:0 ~e:0 ~prot:Prot.read_write plan;
+    (* PTE work proportional to the moved region only. *)
+    mprotect_page_work ~s:(min old_end nb) ~e:(max old_end nb);
+    Ok (`Applied c)
+  | Metadata _ -> assert false (* brk only classifies to Adjust_end *)
+  | Structural ->
+    if not allow_structural then Ok `Needs_structural
+    else begin
+      let nb = Page.align_up new_break in
+      (match Mm.find_vma_at mm heap_base with
+       | Some v when v.Vma.start_ = heap_base -> Mm.remove mm v
+       | _ -> ());
+      if nb > heap_base then
+        Mm.insert mm (Vma.make ~start_:heap_base ~end_:nb ~prot:Prot.read_write);
+      Ok (`Applied c)
+    end
+
+(* ---------------- page faults ---------------- *)
+
+let page_fault mm ~addr ~access =
+  match Mm.find_vma_at mm addr with
+  | Some v when Prot.allows v.Vma.prot access ->
+    (* Install the page: allocation + clear + PTE write, under the lock the
+       caller holds — the work mmap_sem protects in the kernel. *)
+    Sim_work.fault ();
+    Ok v
+  | _ -> Error `Segv
+
+let speculative_write_range vma =
+  Rlk.Range.v
+    ~lo:(max 0 (vma.Vma.start_ - Page.size))
+    ~hi:(vma.Vma.end_ + Page.size)

@@ -1,0 +1,101 @@
+(** The VM operations of Section 5, without synchronization (the sync
+    strategies of {!Sync} wrap these): [mmap], [munmap], [mprotect] — with
+    the split/merge/boundary-shift logic of the kernel — and the page-fault
+    check.
+
+    The speculative mprotect needs to know, {e before} touching anything,
+    whether the call will modify the shape of [mm_rb]; {!classify_mprotect}
+    computes that, and {!apply_mprotect} honours an [allow_structural]
+    switch so the speculative caller can bail out and retry under the
+    full-range lock exactly as in Listing 4. *)
+
+type error =
+  | Enomem  (** range not fully mapped, or no free region of that size *)
+  | Einval  (** misaligned or empty arguments *)
+  | Eexist  (** fixed mapping overlaps an existing VMA *)
+
+val pp_error : Format.formatter -> error -> unit
+
+(** {1 mmap / munmap} — always structural; callers hold the full-range
+    write lock. *)
+
+val mmap :
+  Mm.t -> ?addr:int -> len:int -> prot:Prot.t -> unit -> (int, error) result
+(** Map [len] bytes (rounded up to pages) and return the start address.
+    With [addr], the mapping is fixed and must not overlap. New mappings
+    merge with adjacent VMAs of equal protection. *)
+
+val find_free_region : Mm.t -> len:int -> int option
+(** First-fit address where [len] bytes would currently fit — the scan
+    [mmap] performs; exposed so the speculative mmap of {!Sync} can run it
+    under a read acquisition (Section 5.2's closing suggestion). *)
+
+val munmap : Mm.t -> addr:int -> len:int -> (unit, error) result
+(** Unmap every page of [addr, addr+len) (gaps are fine, as in the
+    kernel); VMAs straddling the boundary are split. *)
+
+(** {1 mprotect} *)
+
+type classification =
+  | Nop  (** every affected page already has the target protection *)
+  | Metadata of meta_plan
+      (** applies by mutating VMA metadata only; [mm_rb] keeps its shape *)
+  | Structural  (** requires node insertion/removal (split or merge) *)
+
+and meta_plan =
+  | Whole_vma of Vma.t
+      (** the range covers the VMA exactly and no neighbour merge results *)
+  | Shift_from_prev of Vma.t * Vma.t
+      (** head of the second VMA moves into the first (Figure 2's case) *)
+  | Shift_into_next of Vma.t * Vma.t
+      (** tail of the first VMA moves into the second *)
+  | Adjust_end of Vma.t * int
+      (** [brk] moves the heap VMA's end in place (new end attached) *)
+
+val classify_mprotect :
+  Mm.t -> addr:int -> len:int -> prot:Prot.t -> (classification, error) result
+(** Pure inspection; the caller must hold a lock covering the affected VMA
+    and one page on each side (the paper's refined write range). Ranges
+    spanning several VMAs classify as [Structural]. *)
+
+val apply_mprotect :
+  Mm.t ->
+  addr:int ->
+  len:int ->
+  prot:Prot.t ->
+  allow_structural:bool ->
+  ([ `Applied of classification | `Needs_structural ], error) result
+(** Perform the protection change. With [allow_structural:false], returns
+    [`Needs_structural] — having modified nothing — whenever the change
+    does not classify as [Nop]/[Metadata]. With [allow_structural:true]
+    (full lock held) it always applies, splitting and merging as needed. *)
+
+(** {1 brk} — the program break, one read-write VMA rooted at a designated
+    heap base. Moving the break is an in-place end adjustment (and thus
+    speculative-friendly, like the mprotect boundary shifts); creating or
+    destroying the heap VMA is structural. The paper's Section 5.2 sketches
+    applying its speculation to brk as future work; {!Sync.brk} implements
+    it. *)
+
+val current_break : Mm.t -> heap_base:int -> int
+(** Current break address ([heap_base] when the heap is empty). *)
+
+val classify_brk :
+  Mm.t -> heap_base:int -> new_break:int -> (classification, error) result
+
+val apply_brk :
+  Mm.t ->
+  heap_base:int ->
+  new_break:int ->
+  allow_structural:bool ->
+  ([ `Applied of classification | `Needs_structural ], error) result
+
+(** {1 Page faults} *)
+
+val page_fault : Mm.t -> addr:int -> access:Prot.access -> (Vma.t, [ `Segv ]) result
+(** Locate the VMA and check the access right — the read-side work of the
+    fault handler (Section 5.3). *)
+
+val speculative_write_range : Vma.t -> Rlk.Range.t
+(** The refined write-lock range for a speculative mprotect: the VMA plus
+    one page on each side (Section 5.2), clamped at zero. *)

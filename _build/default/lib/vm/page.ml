@@ -1,0 +1,13 @@
+let size = 4096
+
+let align_down a = a land lnot (size - 1)
+
+let align_up a = (a + size - 1) land lnot (size - 1)
+
+let is_aligned a = a land (size - 1) = 0
+
+let of_addr a = a / size
+
+let range_of_addr a =
+  let lo = align_down a in
+  Rlk.Range.v ~lo ~hi:(lo + size)

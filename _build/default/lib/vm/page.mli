@@ -1,0 +1,18 @@
+(** Page arithmetic for the VM simulator (4 KiB pages, as in the paper's
+    refinement of lock ranges "plus a page (4096 bytes) from each side"). *)
+
+val size : int
+(** 4096. *)
+
+val align_down : int -> int
+
+val align_up : int -> int
+
+val is_aligned : int -> bool
+
+val of_addr : int -> int
+(** Page number containing the address. *)
+
+val range_of_addr : int -> Rlk.Range.t
+(** The page-sized range containing the address (used to refine page-fault
+    lock acquisitions, Section 5.3). *)

@@ -1,0 +1,24 @@
+type t = { read : bool; write : bool; exec : bool }
+
+let none = { read = false; write = false; exec = false }
+let read_only = { read = true; write = false; exec = false }
+let read_write = { read = true; write = true; exec = false }
+let read_exec = { read = true; write = false; exec = true }
+let rwx = { read = true; write = true; exec = true }
+
+type access = Read | Write | Exec
+
+let allows t = function
+  | Read -> t.read
+  | Write -> t.write
+  | Exec -> t.exec
+
+let equal a b = a.read = b.read && a.write = b.write && a.exec = b.exec
+
+let pp ppf t =
+  Format.fprintf ppf "%c%c%c"
+    (if t.read then 'r' else '-')
+    (if t.write then 'w' else '-')
+    (if t.exec then 'x' else '-')
+
+let to_string t = Format.asprintf "%a" pp t

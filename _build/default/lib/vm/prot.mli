@@ -1,0 +1,19 @@
+(** Memory protection flags (the [prot] argument of [mmap]/[mprotect]). *)
+
+type t = { read : bool; write : bool; exec : bool }
+
+val none : t
+val read_only : t
+val read_write : t
+val read_exec : t
+val rwx : t
+
+type access = Read | Write | Exec
+
+val allows : t -> access -> bool
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

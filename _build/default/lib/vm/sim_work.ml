@@ -1,0 +1,19 @@
+(* A data-dependent loop the compiler cannot remove; roughly 1ns/unit on
+   current x86. Writes go to a domain-local scratch page to mimic the cache
+   behaviour of zeroing real memory without sharing between domains. *)
+
+let scratch_key = Domain.DLS.new_key (fun () -> Array.make 512 0)
+
+let units n =
+  let scratch = Domain.DLS.get scratch_key in
+  let acc = ref 0 in
+  for i = 1 to n do
+    let slot = i land 511 in
+    scratch.(slot) <- scratch.(slot) + !acc;
+    acc := !acc + i
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+let fault () = units 1_000
+
+let mprotect_page () = units 150

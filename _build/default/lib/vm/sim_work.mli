@@ -1,0 +1,16 @@
+(** Calibrated busy work standing in for the parts of the kernel VM
+    operations this simulator does not model byte-for-byte, executed
+    {e inside} the critical sections so that lock-holding times are
+    realistic (a real page fault allocates and zeroes a page and installs a
+    PTE under [mmap_sem]; a real mprotect rewrites PTEs and shoots down
+    TLBs for every page of the range). Without this, critical sections are
+    a few tree operations and lock overhead dominates every comparison. *)
+
+val fault : unit -> unit
+(** ~1 microsecond: page allocation + clear + PTE install. *)
+
+val mprotect_page : unit -> unit
+(** ~150 nanoseconds per page: PTE rewrite + TLB shootdown share. *)
+
+val units : int -> unit
+(** Raw work loop: roughly one nanosecond per unit. *)

@@ -1,0 +1,344 @@
+open Rlk_primitives
+module Range = Rlk.Range
+
+type variant =
+  | Stock
+  | Tree_full
+  | List_full
+  | Tree_refined
+  | List_refined
+  | List_pf
+  | List_mprotect
+  | List_refined_maps
+
+let variant_name = function
+  | Stock -> "stock"
+  | Tree_full -> "tree-full"
+  | List_full -> "list-full"
+  | Tree_refined -> "tree-refined"
+  | List_refined -> "list-refined"
+  | List_pf -> "list-pf"
+  | List_mprotect -> "list-mprotect"
+  | List_refined_maps -> "list-refined+maps"
+
+let all_variants =
+  [ Stock; Tree_full; List_full; Tree_refined; List_refined; List_pf;
+    List_mprotect; List_refined_maps ]
+
+let variant_of_name s =
+  List.find_opt (fun v -> variant_name v = s) all_variants
+
+let figure5_variants = [ Stock; Tree_full; List_full; Tree_refined; List_refined ]
+
+let figure6_variants = [ List_full; List_pf; List_mprotect; List_refined ]
+
+type backend =
+  | Sem of Rwsem.t
+  | Tree of Rlk_baselines.Tree_rw.t
+  | Lst of Rlk.List_rw.t
+
+type t = {
+  variant : variant;
+  mm : Mm.t;
+  backend : backend;
+  refine_pf : bool;
+  speculate : bool;
+  speculate_maps : bool;
+  faults : Padded_counters.t;
+  mmaps : Padded_counters.t;
+  munmaps : Padded_counters.t;
+  mprotects : Padded_counters.t;
+  brks : Padded_counters.t;
+  spec_success : Padded_counters.t;
+  spec_retries : Padded_counters.t;
+  structural_fallbacks : Padded_counters.t;
+  map_scan_hits : Padded_counters.t;
+  map_scan_misses : Padded_counters.t;
+}
+
+type op_stats = {
+  faults : int;
+  mmaps : int;
+  munmaps : int;
+  mprotects : int;
+  brks : int;
+  spec_success : int;
+  spec_retries : int;
+  structural_fallbacks : int;
+  map_scan_hits : int;
+  map_scan_misses : int;
+}
+
+let create ?stats ?spin_stats variant =
+  let backend =
+    match variant with
+    | Stock -> Sem (Rwsem.create ?stats ())
+    | Tree_full | Tree_refined ->
+      Tree (Rlk_baselines.Tree_rw.create ?stats ?spin_stats ())
+    | List_full | List_refined | List_pf | List_mprotect | List_refined_maps ->
+      Lst (Rlk.List_rw.create ?stats ())
+  in
+  let refine_pf =
+    match variant with
+    | Tree_refined | List_refined | List_pf | List_refined_maps -> true
+    | Stock | Tree_full | List_full | List_mprotect -> false
+  and speculate =
+    match variant with
+    | Tree_refined | List_refined | List_mprotect | List_refined_maps -> true
+    | Stock | Tree_full | List_full | List_pf -> false
+  and speculate_maps =
+    match variant with
+    | List_refined_maps -> true
+    | Stock | Tree_full | List_full | Tree_refined | List_refined | List_pf
+    | List_mprotect -> false
+  in
+  let c () = Padded_counters.create ~slots:Domain_id.capacity in
+  { variant; mm = Mm.create (); backend; refine_pf; speculate; speculate_maps;
+    faults = c (); mmaps = c (); munmaps = c (); mprotects = c (); brks = c ();
+    spec_success = c (); spec_retries = c (); structural_fallbacks = c ();
+    map_scan_hits = c (); map_scan_misses = c () }
+
+let variant t = t.variant
+
+let mm t = t.mm
+
+let bump c = Padded_counters.incr c (Domain_id.get ())
+
+(* ---- lock plumbing ---- *)
+
+type lhandle =
+  | Hsem_r
+  | Hsem_w
+  | Htree of Rlk_baselines.Tree_rw.handle
+  | Hlst of Rlk.List_rw.handle
+
+let read_lock t r =
+  match t.backend with
+  | Sem s -> Rwsem.down_read s; Hsem_r
+  | Tree l -> Htree (Rlk_baselines.Tree_rw.read_acquire l r)
+  | Lst l -> Hlst (Rlk.List_rw.read_acquire l r)
+
+let write_lock t r =
+  match t.backend with
+  | Sem s -> Rwsem.down_write s; Hsem_w
+  | Tree l -> Htree (Rlk_baselines.Tree_rw.write_acquire l r)
+  | Lst l -> Hlst (Rlk.List_rw.write_acquire l r)
+
+let unlock t h =
+  match t.backend, h with
+  | Sem s, Hsem_r -> Rwsem.up_read s
+  | Sem s, Hsem_w -> Rwsem.up_write s
+  | Tree l, Htree h -> Rlk_baselines.Tree_rw.release l h
+  | Lst l, Hlst h -> Rlk.List_rw.release l h
+  | _ -> invalid_arg "Sync.unlock: handle from a different backend"
+
+(* Full-range write sections publish structural changes: bump the sequence
+   number on release, as Listing 4 prescribes. *)
+let with_full_write t f =
+  let h = write_lock t Range.full in
+  let finish () =
+    Rlk_primitives.Seqcount.bump (Mm.seq t.mm);
+    unlock t h
+  in
+  match f () with
+  | v -> finish (); v
+  | exception e -> finish (); raise e
+
+(* ---- operations ---- *)
+
+(* Section 5.2's closing suggestion, evaluated here: do the free-region
+   scan under a read acquisition, then re-validate under the full write
+   lock — shortening the write-side hold to the insertion itself. *)
+let mmap_speculative (t : t) ~len ~prot =
+  let hr = read_lock t Range.full in
+  let candidate = Mm_ops.find_free_region t.mm ~len:(Page.align_up (max len 1)) in
+  let seq0 = Rlk_primitives.Seqcount.read (Mm.seq t.mm) in
+  unlock t hr;
+  with_full_write t (fun () ->
+      if Rlk_primitives.Seqcount.read (Mm.seq t.mm) = seq0 then begin
+        bump t.map_scan_hits;
+        match candidate with
+        | Some a -> Mm_ops.mmap t.mm ~addr:a ~len ~prot ()
+        | None -> Error Mm_ops.Enomem
+      end
+      else begin
+        (* The address space changed since the scan: redo it under the
+           write lock, as the non-speculative path would. *)
+        bump t.map_scan_misses;
+        Mm_ops.mmap t.mm ?addr:None ~len ~prot ()
+      end)
+
+let mmap (t : t) ?addr ~len ~prot () =
+  bump t.mmaps;
+  if t.speculate_maps && addr = None && len > 0 then
+    mmap_speculative t ~len ~prot
+  else with_full_write t (fun () -> Mm_ops.mmap t.mm ?addr ~len ~prot ())
+
+let munmap (t : t) ~addr ~len =
+  bump t.munmaps;
+  with_full_write t (fun () -> Mm_ops.munmap t.mm ~addr ~len)
+
+let mprotect_full t ~addr ~len ~prot =
+  with_full_write t (fun () ->
+      match Mm_ops.apply_mprotect t.mm ~addr ~len ~prot ~allow_structural:true with
+      | Ok (`Applied _) -> Ok ()
+      | Ok `Needs_structural -> assert false
+      | Error e -> Error e)
+
+(* Listing 4: optimistic read-mode lookup, refined write-mode application,
+   sequence-number + boundary validation, fall back to the full range on
+   structural changes. *)
+let mprotect_speculative (t : t) ~addr ~len ~prot =
+  let rec go ~speculate =
+    if not speculate then begin
+      bump t.structural_fallbacks;
+      mprotect_full t ~addr ~len ~prot
+    end
+    else begin
+      let hr = read_lock t (Range.v ~lo:addr ~hi:(addr + len)) in
+      match Mm.find_vma_at t.mm addr with
+      | None ->
+        (* Gap at addr: decide ENOMEM authoritatively under the full lock. *)
+        unlock t hr;
+        go ~speculate:false
+      | Some vma ->
+        let seq0 = Rlk_primitives.Seqcount.read (Mm.seq t.mm) in
+        let vstart = vma.Vma.start_ and vend = vma.Vma.end_ in
+        let wrange = Mm_ops.speculative_write_range vma in
+        unlock t hr;
+        let hw = write_lock t wrange in
+        if Rlk_primitives.Seqcount.read (Mm.seq t.mm) <> seq0
+           || vma.Vma.start_ <> vstart || vma.Vma.end_ <> vend
+        then begin
+          unlock t hw;
+          bump t.spec_retries;
+          go ~speculate:true
+        end
+        else begin
+          match Mm_ops.apply_mprotect t.mm ~addr ~len ~prot ~allow_structural:false with
+          | Ok (`Applied _) ->
+            unlock t hw;
+            bump t.spec_success;
+            Ok ()
+          | Ok `Needs_structural ->
+            unlock t hw;
+            go ~speculate:false
+          | Error e ->
+            unlock t hw;
+            Error e
+        end
+    end
+  in
+  go ~speculate:true
+
+let mprotect (t : t) ~addr ~len ~prot =
+  bump t.mprotects;
+  if len <= 0 || addr < 0 || not (Page.is_aligned addr) then Error Mm_ops.Einval
+  else if t.speculate then mprotect_speculative t ~addr ~len ~prot
+  else mprotect_full t ~addr ~len ~prot
+
+(* The designated program-break region; far from both the first-fit mmap
+   area (which grows from 64 KiB) and the 64 MiB-aligned arenas (from
+   4 GiB). *)
+let heap_base = 1 lsl 30
+
+let current_break (t : t) = Mm_ops.current_break t.mm ~heap_base
+
+(* brk follows the same speculative protocol as mprotect (Listing 4): the
+   common grow/shrink moves only the heap VMA's end, so it can run under a
+   write lock covering just the heap span plus a page. *)
+let brk_speculative (t : t) ~new_break =
+  let rec go ~speculate =
+    if not speculate then begin
+      bump t.structural_fallbacks;
+      with_full_write t (fun () ->
+          match Mm_ops.apply_brk t.mm ~heap_base ~new_break ~allow_structural:true with
+          | Ok (`Applied _) -> Ok ()
+          | Ok `Needs_structural -> assert false
+          | Error e -> Error e)
+    end
+    else begin
+      let probe_hi = max (Page.align_up (max new_break (heap_base + 1))) (heap_base + Page.size) in
+      let hr = read_lock t (Range.v ~lo:heap_base ~hi:probe_hi) in
+      let old_break = Mm_ops.current_break t.mm ~heap_base in
+      let seq0 = Rlk_primitives.Seqcount.read (Mm.seq t.mm) in
+      unlock t hr;
+      if old_break = heap_base then
+        (* No heap VMA yet: creation is structural. *)
+        go ~speculate:false
+      else begin
+        let whi = max old_break probe_hi + Page.size in
+        let hw = write_lock t (Range.v ~lo:heap_base ~hi:whi) in
+        if Rlk_primitives.Seqcount.read (Mm.seq t.mm) <> seq0
+           || Mm_ops.current_break t.mm ~heap_base <> old_break
+        then begin
+          unlock t hw;
+          bump t.spec_retries;
+          go ~speculate:true
+        end
+        else begin
+          match Mm_ops.apply_brk t.mm ~heap_base ~new_break ~allow_structural:false with
+          | Ok (`Applied _) ->
+            unlock t hw;
+            bump t.spec_success;
+            Ok ()
+          | Ok `Needs_structural ->
+            unlock t hw;
+            go ~speculate:false
+          | Error e ->
+            unlock t hw;
+            Error e
+        end
+      end
+    end
+  in
+  go ~speculate:true
+
+let brk (t : t) ~new_break =
+  bump t.brks;
+  if new_break < heap_base then Error Mm_ops.Einval
+  else if t.speculate then brk_speculative t ~new_break
+  else
+    with_full_write t (fun () ->
+        match Mm_ops.apply_brk t.mm ~heap_base ~new_break ~allow_structural:true with
+        | Ok (`Applied _) -> Ok ()
+        | Ok `Needs_structural -> assert false
+        | Error e -> Error e)
+
+let page_fault (t : t) ~addr ~access =
+  bump t.faults;
+  let r = if t.refine_pf then Page.range_of_addr addr else Range.full in
+  let h = read_lock t r in
+  let res = Mm_ops.page_fault t.mm ~addr ~access in
+  unlock t h;
+  match res with Ok _ -> Ok () | Error `Segv -> Error `Segv
+
+let read_range (t : t) r f =
+  let h = read_lock t (if t.refine_pf then r else Range.full) in
+  match f () with
+  | v -> unlock t h; v
+  | exception e -> unlock t h; raise e
+
+let op_stats (t : t) : op_stats =
+  { faults = Padded_counters.sum t.faults;
+    mmaps = Padded_counters.sum t.mmaps;
+    munmaps = Padded_counters.sum t.munmaps;
+    mprotects = Padded_counters.sum t.mprotects;
+    brks = Padded_counters.sum t.brks;
+    spec_success = Padded_counters.sum t.spec_success;
+    spec_retries = Padded_counters.sum t.spec_retries;
+    structural_fallbacks = Padded_counters.sum t.structural_fallbacks;
+    map_scan_hits = Padded_counters.sum t.map_scan_hits;
+    map_scan_misses = Padded_counters.sum t.map_scan_misses }
+
+let reset_op_stats (t : t) =
+  Padded_counters.reset t.faults;
+  Padded_counters.reset t.mmaps;
+  Padded_counters.reset t.munmaps;
+  Padded_counters.reset t.mprotects;
+  Padded_counters.reset t.brks;
+  Padded_counters.reset t.spec_success;
+  Padded_counters.reset t.spec_retries;
+  Padded_counters.reset t.structural_fallbacks;
+  Padded_counters.reset t.map_scan_hits;
+  Padded_counters.reset t.map_scan_misses

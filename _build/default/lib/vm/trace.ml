@@ -1,0 +1,165 @@
+type op =
+  | Mmap of { len : int; prot : Prot.t }
+  | Mmap_fixed of { addr : int; len : int; prot : Prot.t }
+  | Munmap of { addr : int; len : int }
+  | Mprotect of { addr : int; len : int; prot : Prot.t }
+  | Fault of { addr : int; access : Prot.access }
+  | Brk of { new_break : int }
+
+let prot_of_string = function
+  | "none" -> Some Prot.none
+  | "r" -> Some Prot.read_only
+  | "rw" -> Some Prot.read_write
+  | "rx" -> Some Prot.read_exec
+  | "rwx" -> Some Prot.rwx
+  | _ -> None
+
+let prot_to_string p =
+  if Prot.equal p Prot.none then "none"
+  else if Prot.equal p Prot.read_only then "r"
+  else if Prot.equal p Prot.read_write then "rw"
+  else if Prot.equal p Prot.read_exec then "rx"
+  else "rwx"
+
+let access_of_string = function
+  | "r" -> Some Prot.Read
+  | "w" -> Some Prot.Write
+  | "x" -> Some Prot.Exec
+  | _ -> None
+
+let access_to_string = function Prot.Read -> "r" | Prot.Write -> "w" | Prot.Exec -> "x"
+
+let int_arg s = int_of_string_opt s
+
+let parse_line line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun s -> s <> "")
+  with
+  | [] -> Ok None
+  | [ "mmap"; len; prot ] -> (
+    match int_arg len, prot_of_string prot with
+    | Some len, Some prot -> Ok (Some (Mmap { len; prot }))
+    | _ -> Error "mmap expects: mmap <len> <prot>")
+  | [ "mmap_fixed"; addr; len; prot ] -> (
+    match int_arg addr, int_arg len, prot_of_string prot with
+    | Some addr, Some len, Some prot -> Ok (Some (Mmap_fixed { addr; len; prot }))
+    | _ -> Error "mmap_fixed expects: mmap_fixed <addr> <len> <prot>")
+  | [ "munmap"; addr; len ] -> (
+    match int_arg addr, int_arg len with
+    | Some addr, Some len -> Ok (Some (Munmap { addr; len }))
+    | _ -> Error "munmap expects: munmap <addr> <len>")
+  | [ "mprotect"; addr; len; prot ] -> (
+    match int_arg addr, int_arg len, prot_of_string prot with
+    | Some addr, Some len, Some prot -> Ok (Some (Mprotect { addr; len; prot }))
+    | _ -> Error "mprotect expects: mprotect <addr> <len> <prot>")
+  | [ "fault"; addr; access ] -> (
+    match int_arg addr, access_of_string access with
+    | Some addr, Some access -> Ok (Some (Fault { addr; access }))
+    | _ -> Error "fault expects: fault <addr> <r|w|x>")
+  | [ "brk"; new_break ] -> (
+    match int_arg new_break with
+    | Some new_break -> Ok (Some (Brk { new_break }))
+    | _ -> Error "brk expects: brk <addr>")
+  | cmd :: _ -> Error (Printf.sprintf "unknown operation %S" cmd)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go n acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match parse_line line with
+      | Ok None -> go (n + 1) acc rest
+      | Ok (Some op) -> go (n + 1) (op :: acc) rest
+      | Error msg -> Error (Printf.sprintf "line %d: %s" n msg))
+  in
+  go 1 [] lines
+
+let pp_op ppf = function
+  | Mmap { len; prot } -> Format.fprintf ppf "mmap %d %s" len (prot_to_string prot)
+  | Mmap_fixed { addr; len; prot } ->
+    Format.fprintf ppf "mmap_fixed 0x%x %d %s" addr len (prot_to_string prot)
+  | Munmap { addr; len } -> Format.fprintf ppf "munmap 0x%x %d" addr len
+  | Mprotect { addr; len; prot } ->
+    Format.fprintf ppf "mprotect 0x%x %d %s" addr len (prot_to_string prot)
+  | Fault { addr; access } ->
+    Format.fprintf ppf "fault 0x%x %s" addr (access_to_string access)
+  | Brk { new_break } -> Format.fprintf ppf "brk 0x%x" new_break
+
+let errno e = Format.asprintf "%a" Mm_ops.pp_error e
+
+let exec sync = function
+  | Mmap { len; prot } -> (
+    match Sync.mmap sync ~len ~prot () with
+    | Ok _ -> Ok ()
+    | Error e -> Error (errno e))
+  | Mmap_fixed { addr; len; prot } -> (
+    match Sync.mmap sync ~addr ~len ~prot () with
+    | Ok _ -> Ok ()
+    | Error e -> Error (errno e))
+  | Munmap { addr; len } ->
+    Result.map_error errno (Sync.munmap sync ~addr ~len)
+  | Mprotect { addr; len; prot } ->
+    Result.map_error errno (Sync.mprotect sync ~addr ~len ~prot)
+  | Fault { addr; access } -> (
+    match Sync.page_fault sync ~addr ~access with
+    | Ok () -> Ok ()
+    | Error `Segv -> Error "SEGV")
+  | Brk { new_break } -> Result.map_error errno (Sync.brk sync ~new_break)
+
+type summary = { executed : int; failed : int; segvs : int }
+
+let replay sync ops =
+  List.fold_left
+    (fun acc op ->
+       match exec sync op with
+       | Ok () -> { acc with executed = acc.executed + 1 }
+       | Error "SEGV" -> { acc with segvs = acc.segvs + 1 }
+       | Error _ -> { acc with failed = acc.failed + 1 })
+    { executed = 0; failed = 0; segvs = 0 }
+    ops
+
+let generate ~seed ~ops =
+  let rng = Rlk_primitives.Prng.create ~seed in
+  (* Track live fixed mappings so most operations have a live target. *)
+  let base = 1 lsl 28 in
+  let slot_pages = 32 in
+  let slots = 64 in
+  let live = Array.make slots false in
+  let prots = [| Prot.none; Prot.read_only; Prot.read_write |] in
+  let addr_of s = base + (s * slot_pages * Page.size) in
+  let rec pick_op () =
+    let s = Rlk_primitives.Prng.below rng slots in
+    match Rlk_primitives.Prng.below rng 10 with
+    | 0 | 1 ->
+      if live.(s) then pick_op ()
+      else begin
+        live.(s) <- true;
+        Mmap_fixed
+          { addr = addr_of s;
+            len = (1 + Rlk_primitives.Prng.below rng slot_pages) * Page.size;
+            prot = prots.(Rlk_primitives.Prng.below rng 3) }
+      end
+    | 2 ->
+      live.(s) <- false;
+      Munmap { addr = addr_of s; len = slot_pages * Page.size }
+    | 3 | 4 | 5 ->
+      Mprotect
+        { addr = addr_of s + Rlk_primitives.Prng.below rng slot_pages / 2 * Page.size;
+          len = (1 + Rlk_primitives.Prng.below rng 4) * Page.size;
+          prot = prots.(Rlk_primitives.Prng.below rng 3) }
+    | 6 ->
+      Brk
+        { new_break =
+            Sync.heap_base
+            + ((1 + Rlk_primitives.Prng.below rng 64) * Page.size) }
+    | _ ->
+      Fault
+        { addr = addr_of s + Rlk_primitives.Prng.below rng (slot_pages * Page.size);
+          access = (if Rlk_primitives.Prng.bool rng ~p:0.5 then Prot.Read else Prot.Write) }
+  in
+  List.init ops (fun _ -> pick_op ())

@@ -1,0 +1,53 @@
+(** Textual VM-operation traces: parse, generate, replay.
+
+    One operation per line; [#] starts a comment. Addresses and lengths are
+    decimal or [0x]-hex bytes; protections are [none], [r], [rw], [rx] or
+    [rwx]:
+
+    {v
+    mmap 65536 rw
+    mmap_fixed 0x40000000 8192 none
+    mprotect 0x40000000 4096 rw
+    fault 0x40000123 w
+    brk 0x40002000
+    munmap 0x40000000 8192
+    v}
+
+    Replaying a recorded trace against each synchronization variant is the
+    quickest way to compare them on a workload of your own. *)
+
+type op =
+  | Mmap of { len : int; prot : Prot.t }
+  | Mmap_fixed of { addr : int; len : int; prot : Prot.t }
+  | Munmap of { addr : int; len : int }
+  | Mprotect of { addr : int; len : int; prot : Prot.t }
+  | Fault of { addr : int; access : Prot.access }
+  | Brk of { new_break : int }
+
+val parse_line : string -> (op option, string) result
+(** [Ok None] for blank/comment lines; [Error] describes the syntax
+    problem. *)
+
+val parse : string -> (op list, string) result
+(** Whole-document parse; errors are prefixed with the line number. *)
+
+val pp_op : Format.formatter -> op -> unit
+(** Prints in the exact syntax {!parse_line} accepts. *)
+
+val exec : Sync.t -> op -> (unit, string) result
+(** Apply one operation; faults that SEGV and operations that fail with an
+    errno both come back as [Error]. *)
+
+type summary = {
+  executed : int; (** operations applied successfully *)
+  failed : int;   (** errno failures (EEXIST, ENOMEM, ...) *)
+  segvs : int;    (** denied page faults *)
+}
+
+val replay : Sync.t -> op list -> summary
+(** Run a whole trace, tolerating failures (they are counted). *)
+
+val generate : seed:int -> ops:int -> op list
+(** A random but plausible trace: mappings are tracked so most operations
+    hit live regions; useful for smoke-testing variants against each
+    other. *)

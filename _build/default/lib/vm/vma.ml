@@ -1,0 +1,23 @@
+type t = {
+  mutable start_ : int;
+  mutable end_ : int;
+  mutable prot : Prot.t;
+  id : int;
+}
+
+let next_id = Atomic.make 0
+
+let make ~start_ ~end_ ~prot =
+  if not (Page.is_aligned start_ && Page.is_aligned end_) then
+    invalid_arg "Vma.make: bounds must be page-aligned";
+  if start_ < 0 || start_ >= end_ then invalid_arg "Vma.make: need 0 <= start < end";
+  { start_; end_; prot; id = Atomic.fetch_and_add next_id 1 }
+
+let range v = Rlk.Range.v ~lo:v.start_ ~hi:v.end_
+
+let length v = v.end_ - v.start_
+
+let contains v a = v.start_ <= a && a < v.end_
+
+let pp ppf v =
+  Format.fprintf ppf "vma#%d[%#x, %#x) %a" v.id v.start_ v.end_ Prot.pp v.prot

@@ -1,0 +1,23 @@
+(** Virtual Memory Area: a contiguous region of the simulated address space
+    with uniform protection — the kernel's [vm_area_struct]. Bounds are
+    page-aligned and mutable: boundary shifts and whole-VMA protection
+    changes update the structure in place (the "metadata without [mm_rb]
+    change" cases the paper's speculative mprotect exploits). *)
+
+type t = {
+  mutable start_ : int;
+  mutable end_ : int;
+  mutable prot : Prot.t;
+  id : int; (** stable identity for tests/diagnostics *)
+}
+
+val make : start_:int -> end_:int -> prot:Prot.t -> t
+(** Requires page-aligned [start_ < end_]. *)
+
+val range : t -> Rlk.Range.t
+
+val length : t -> int
+
+val contains : t -> int -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/arrbench.ml: Array Atomic Printf Prng Rlk Rlk_primitives Runner Sys

@@ -1,0 +1,1 @@
+lib/workloads/arrbench.mli: Rlk Runner

@@ -1,0 +1,1 @@
+lib/workloads/fileio.ml: Atomic Printf Prng Rlk Rlk_fs Rlk_primitives Runner

@@ -1,0 +1,1 @@
+lib/workloads/locks.ml: List Rlk Rlk_baselines Rlk_skiplist

@@ -1,0 +1,1 @@
+lib/workloads/locks.mli: Rlk Rlk_skiplist

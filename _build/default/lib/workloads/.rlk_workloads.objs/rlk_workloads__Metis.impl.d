@@ -1,0 +1,1 @@
+lib/workloads/metis.ml: Atomic Format Glibc_arena List Lockstat Mm_ops Printf Prng Prot Result Rlk_primitives Rlk_vm Runner Sync Sys

@@ -1,0 +1,1 @@
+lib/workloads/metis.mli: Rlk_primitives Rlk_vm

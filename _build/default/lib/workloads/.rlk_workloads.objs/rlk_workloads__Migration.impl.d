@@ -1,0 +1,1 @@
+lib/workloads/migration.ml: Array Atomic Clock Domain Format Mm_ops Page Prng Prot Rlk Rlk_primitives Rlk_vm Sim_work Sync

@@ -1,0 +1,1 @@
+lib/workloads/migration.mli: Rlk_vm

@@ -1,0 +1,1 @@
+lib/workloads/runner.ml: Array Atomic Clock Domain List Rlk_primitives String Sys Unix

@@ -1,0 +1,1 @@
+lib/workloads/series.ml: Buffer Char List Printf String

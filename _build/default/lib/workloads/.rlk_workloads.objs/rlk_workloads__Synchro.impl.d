@@ -1,0 +1,1 @@
+lib/workloads/synchro.ml: Prng Rlk_primitives Rlk_skiplist Runner

@@ -1,0 +1,1 @@
+lib/workloads/synchro.mli: Rlk_skiplist Runner

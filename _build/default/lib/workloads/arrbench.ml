@@ -1,0 +1,117 @@
+open Rlk_primitives
+
+type variant = Full | Disjoint | Random
+
+let variant_name = function
+  | Full -> "full"
+  | Disjoint -> "disjoint"
+  | Random -> "random"
+
+let variant_of_name = function
+  | "full" -> Some Full
+  | "disjoint" -> Some Disjoint
+  | "random" -> Some Random
+  | _ -> None
+
+let slots = 256
+
+let pad = 8 (* ints per slot: 64 bytes *)
+
+let max_noops = 2048
+
+(* Traverse [lo, hi) of the padded array: read mode sums, write mode
+   increments — the slot accesses of the paper's benchmark. *)
+let traverse array ~lo ~hi ~write =
+  if write then
+    for i = lo to hi - 1 do
+      array.(i * pad) <- array.(i * pad) + 1
+    done
+  else begin
+    let acc = ref 0 in
+    for i = lo to hi - 1 do
+      acc := !acc + array.(i * pad)
+    done;
+    ignore (Sys.opaque_identity !acc)
+  end
+
+let non_critical_work rng =
+  let n = Prng.below rng max_noops in
+  for _ = 1 to n do
+    ignore (Sys.opaque_identity ())
+  done
+
+(* Optional exclusion checker: per-slot occupancy words (writer adds a big
+   unit, readers 1) verified on entry, exactly like the kernel would crash
+   on corrupted VMA metadata. *)
+type checker = { state : int Atomic.t array; violated : bool Atomic.t }
+
+let writer_unit = 1_000_000
+
+let make_checker () =
+  { state = Array.init slots (fun _ -> Atomic.make 0);
+    violated = Atomic.make false }
+
+let checker_enter c ~lo ~hi ~write =
+  for i = lo to hi - 1 do
+    let prev = Atomic.fetch_and_add c.state.(i) (if write then writer_unit else 1) in
+    if write then begin
+      if prev <> 0 then Atomic.set c.violated true
+    end
+    else if prev >= writer_unit then Atomic.set c.violated true
+  done
+
+let checker_leave c ~lo ~hi ~write =
+  for i = lo to hi - 1 do
+    ignore (Atomic.fetch_and_add c.state.(i) (if write then -writer_unit else -1))
+  done
+
+let run_with (module L : Rlk.Intf.RW) ~variant ~threads ~read_pct ~duration_s
+    ~checker =
+  let lock = L.create () in
+  let array = Array.make (slots * pad) 0 in
+  let worker ~id ~stop =
+    let rng = Prng.create ~seed:(id * 9176 + 3) in
+    let slice = max 1 (slots / threads) in
+    let my_lo = min (id * slice) (slots - slice) in
+    let ops = ref 0 in
+    while not (stop ()) do
+      let write = Prng.below rng 100 >= read_pct in
+      let lo, hi, passes =
+        match variant with
+        | Full -> (0, slots, 1)
+        | Disjoint -> (my_lo, my_lo + slice, threads)
+        | Random ->
+          let a = Prng.below rng slots and b = Prng.below rng slots in
+          (min a b, max a b + 1, 1)
+      in
+      let r = Rlk.Range.v ~lo ~hi in
+      let h = if write then L.write_acquire lock r else L.read_acquire lock r in
+      (match checker with
+       | Some c -> checker_enter c ~lo ~hi ~write
+       | None -> ());
+      for _ = 1 to passes do
+        traverse array ~lo ~hi ~write
+      done;
+      (match checker with
+       | Some c -> checker_leave c ~lo ~hi ~write
+       | None -> ());
+      L.release lock h;
+      incr ops;
+      non_critical_work rng
+    done;
+    !ops
+  in
+  Runner.throughput ~threads ~duration_s ~worker
+
+let run ~lock:(module L : Rlk.Intf.RW) ~variant ~threads ~read_pct ~duration_s =
+  run_with (module L) ~variant ~threads ~read_pct ~duration_s ~checker:None
+
+let self_check ~lock:(module L : Rlk.Intf.RW) ~variant ~threads ~read_pct
+    ~duration_s =
+  let c = make_checker () in
+  let result =
+    run_with (module L) ~variant ~threads ~read_pct ~duration_s ~checker:(Some c)
+  in
+  if Atomic.get c.violated then
+    Error (Printf.sprintf "exclusion violated under %s/%s" L.name (variant_name variant))
+  else Ok result

@@ -1,0 +1,39 @@
+(** ArrBench — the paper's user-space microbenchmark (Section 7.1,
+    Figure 3): threads access ranges of a 256-slot array (slots padded to a
+    cache line) under a range lock, interleaved with uniformly random
+    non-critical work of up to 2048 no-ops.
+
+    Three variants reproduce the figure's three rows:
+    - {!Full}: every thread acquires and traverses the entire range;
+    - {!Disjoint}: thread [i] of [t] acquires its own 1/t slice and
+      traverses it [t] times, keeping the work per acquisition constant
+      across thread counts (the paper's second variant);
+    - {!Random}: random start/end points, one traversal.
+
+    Read operations sum the slots under a read acquisition; writes
+    increment each slot under a write acquisition. *)
+
+type variant = Full | Disjoint | Random
+
+val variant_name : variant -> string
+
+val variant_of_name : string -> variant option
+
+val slots : int
+(** 256, as in the paper. *)
+
+val run :
+  lock:Rlk.Intf.rw_impl ->
+  variant:variant ->
+  threads:int ->
+  read_pct:int ->
+  duration_s:float ->
+  Runner.result
+(** Throughput of array operations. [read_pct] is 100 or 60 in the paper's
+    plots. *)
+
+val self_check :
+  lock:Rlk.Intf.rw_impl -> variant:variant -> threads:int -> read_pct:int ->
+  duration_s:float -> (Runner.result, string) result
+(** Like {!run}, but with per-slot occupancy checking: fails if exclusion
+    was violated (used by the test suite against every lock). *)

@@ -1,0 +1,38 @@
+open Rlk_primitives
+
+let run ~lock:(module L : Rlk.Intf.RW) ~threads ~read_pct ?(file_records = 4_096)
+    ?(max_io_records = 4) ~duration_s () =
+  let module F = Rlk_fs.Shared_file.Make (L) in
+  let file = F.create ~size:(file_records * F.record_size) in
+  (* Seed every record so early reads verify. *)
+  for i = 0 to file_records - 1 do
+    F.write_record file ~index:i ~tag:1
+  done;
+  let torn = Atomic.make 0 in
+  let result =
+    Runner.throughput ~threads ~duration_s ~worker:(fun ~id ~stop ->
+        let rng = Prng.create ~seed:(id * 131 + 17) in
+        let ops = ref 0 in
+        while not (stop ()) do
+          let first = Prng.below rng file_records in
+          let count = 1 + Prng.below rng max_io_records in
+          let last = min (file_records - 1) (first + count - 1) in
+          if Prng.below rng 100 < read_pct then
+            for i = first to last do
+              match F.read_record file ~index:i with
+              | Ok _ -> ()
+              | Error `Torn -> Atomic.incr torn
+            done
+          else begin
+            let tag = 2 + Prng.below rng 200 in
+            for i = first to last do
+              F.write_record file ~index:i ~tag
+            done
+          end;
+          incr ops
+        done;
+        !ops)
+  in
+  if Atomic.get torn > 0 then
+    Error (Printf.sprintf "%d torn records under %s" (Atomic.get torn) L.name)
+  else Ok result

@@ -1,0 +1,18 @@
+(** Shared-file I/O benchmark — the pNOVA scenario of Kim et al. that the
+    paper cites as a direct application for its range locks (Section 2):
+    many threads issuing reads and writes at random offsets of one shared
+    file. Operations act on whole self-checksummed records so that any
+    exclusion failure shows up as a torn record. *)
+
+val run :
+  lock:Rlk.Intf.rw_impl ->
+  threads:int ->
+  read_pct:int ->
+  ?file_records:int ->
+  ?max_io_records:int ->
+  duration_s:float ->
+  unit ->
+  (Runner.result, string) result
+(** Random record-run reads/writes; every read verifies checksums and the
+    run fails with [Error] if a torn record is ever observed. Defaults:
+    4096 records of 256 bytes (a 1 MiB file), I/O of 1-4 records. *)

@@ -1,0 +1,129 @@
+module Lustre_rw = Rlk.Intf.Rw_of_mutex (struct
+  type t = Rlk_baselines.Tree_mutex.t
+
+  type handle = Rlk_baselines.Tree_mutex.handle
+
+  let name = Rlk_baselines.Tree_mutex.name
+
+  let create ?stats () = Rlk_baselines.Tree_mutex.create ?stats ()
+
+  let acquire = Rlk_baselines.Tree_mutex.acquire
+
+  let release = Rlk_baselines.Tree_mutex.release
+end)
+
+module List_ex_rw = Rlk.Intf.Rw_of_mutex (Rlk.Intf.List_mutex_impl)
+
+module Kernel_rw : Rlk.Intf.RW = struct
+  type t = Rlk_baselines.Tree_rw.t
+
+  type handle = Rlk_baselines.Tree_rw.handle
+
+  let name = Rlk_baselines.Tree_rw.name
+
+  let create ?stats () = Rlk_baselines.Tree_rw.create ?stats ()
+
+  let read_acquire = Rlk_baselines.Tree_rw.read_acquire
+
+  let write_acquire = Rlk_baselines.Tree_rw.write_acquire
+
+  let release = Rlk_baselines.Tree_rw.release
+end
+
+let arrbench_locks : (string * Rlk.Intf.rw_impl) list =
+  [ ("list-ex", (module List_ex_rw));
+    ("list-rw", (module Rlk.Intf.List_rw_impl));
+    ("lustre-ex", (module Lustre_rw));
+    ("kernel-rw", (module Kernel_rw));
+    ("pnova-rw", Rlk_baselines.Segment_rw.impl ~segments:256 ~segment_size:1) ]
+
+let find_arrbench_lock name = List.assoc_opt name arrbench_locks
+
+let skiplist_sets : (string * Rlk_skiplist.Skiplist_intf.set_impl) list =
+  [ ("orig", (module Rlk_skiplist.Optimistic));
+    ("range-list", (module Rlk_skiplist.Range_skiplist.Over_list));
+    ("range-lustre", (module Rlk_skiplist.Range_skiplist.Over_lustre)) ]
+
+let find_skiplist_set name = List.assoc_opt name skiplist_sets
+
+module List_mutex_fast : Rlk.Intf.MUTEX = struct
+  include Rlk.List_mutex
+
+  let name = "list-ex+fast"
+
+  let create ?stats () = create ?stats ~fast_path:true ()
+end
+
+module List_mutex_fast_rw = Rlk.Intf.Rw_of_mutex (List_mutex_fast)
+
+let list_mutex_fast_path_impl : Rlk.Intf.rw_impl = (module List_mutex_fast_rw)
+
+module List_rw_fair : Rlk.Intf.RW = struct
+  include Rlk.List_rw
+
+  let name = "list-rw+fair"
+
+  let create ?stats () = create ?stats ~fairness:64 ()
+end
+
+let list_rw_fair_impl : Rlk.Intf.rw_impl = (module List_rw_fair)
+
+module List_rw_wpref : Rlk.Intf.RW = struct
+  include Rlk.List_rw
+
+  let name = "list-rw+wpref"
+
+  let create ?stats () = create ?stats ~prefer:Rlk.List_rw.Prefer_writers ()
+end
+
+let list_rw_writer_pref_impl : Rlk.Intf.rw_impl = (module List_rw_wpref)
+
+module Kernel_rw_ticket : Rlk.Intf.RW = struct
+  include Rlk_baselines.Tree_rw
+
+  let name = "kernel-rw+ticket"
+
+  let create ?stats () = create ?stats ~guard:Rlk_baselines.Tree_lock.Ticket ()
+end
+
+let kernel_rw_ticket_impl : Rlk.Intf.rw_impl = (module Kernel_rw_ticket)
+
+module Slots_rw = Rlk.Intf.Rw_of_mutex (struct
+  type t = Rlk_baselines.Slots_mutex.t
+
+  type handle = Rlk_baselines.Slots_mutex.handle
+
+  let name = Rlk_baselines.Slots_mutex.name
+
+  let create ?stats () = Rlk_baselines.Slots_mutex.create ?stats ()
+
+  let acquire = Rlk_baselines.Slots_mutex.acquire
+
+  let release = Rlk_baselines.Slots_mutex.release
+end)
+
+let slots_mutex_impl : Rlk.Intf.rw_impl = (module Slots_rw)
+
+module Vee_rw_impl : Rlk.Intf.RW = struct
+  include Rlk_baselines.Vee_rw
+
+  let create ?stats () = create ?stats ()
+end
+
+let vee_rw_impl : Rlk.Intf.rw_impl = (module Vee_rw_impl)
+
+module Gpfs_rw = Rlk.Intf.Rw_of_mutex (struct
+  type t = Rlk_baselines.Gpfs_tokens.t
+
+  type handle = Rlk_baselines.Gpfs_tokens.handle
+
+  let name = Rlk_baselines.Gpfs_tokens.name
+
+  let create ?stats () = Rlk_baselines.Gpfs_tokens.create ?stats ()
+
+  let acquire = Rlk_baselines.Gpfs_tokens.acquire
+
+  let release = Rlk_baselines.Gpfs_tokens.release
+end)
+
+let gpfs_tokens_impl : Rlk.Intf.rw_impl = (module Gpfs_rw)

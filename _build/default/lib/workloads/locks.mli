@@ -1,0 +1,46 @@
+(** Registry of range-lock implementations under their paper labels, as
+    first-class modules, for the benchmarks and CLIs. *)
+
+val arrbench_locks : (string * Rlk.Intf.rw_impl) list
+(** [list-ex], [list-rw], [lustre-ex], [kernel-rw], [pnova-rw] — the five
+    user-space variants of the paper's Figure 3 (exclusive-only locks are
+    adapted so "read" acquisitions take the range exclusively, exactly the
+    handicap they have in the paper). [pnova-rw] is configured with 256
+    segments of one slot each, the paper's ArrBench setting. *)
+
+val find_arrbench_lock : string -> Rlk.Intf.rw_impl option
+
+val skiplist_sets : (string * Rlk_skiplist.Skiplist_intf.set_impl) list
+(** [orig], [range-list], [range-lustre] — Figure 4's competitors. *)
+
+val find_skiplist_set : string -> Rlk_skiplist.Skiplist_intf.set_impl option
+
+val list_mutex_fast_path_impl : Rlk.Intf.rw_impl
+(** [list-ex+fast]: the exclusive list lock with the Section 4.5 fast path
+    enabled, for the ablation benchmarks. *)
+
+val list_rw_fair_impl : Rlk.Intf.rw_impl
+(** [list-rw+fair]: the reader-writer list lock with the Section 4.3
+    fairness gate enabled (patience 64). *)
+
+val list_rw_writer_pref_impl : Rlk.Intf.rw_impl
+(** [list-rw+wpref]: the reversed preference scheme of Section 4.2 —
+    writers stay in the list and wait, conflicting readers restart. *)
+
+val kernel_rw_ticket_impl : Rlk.Intf.rw_impl
+(** [kernel-rw+ticket]: the tree range lock guarded by a ticket lock
+    instead of TTAS — the paper's footnote-5 check that the spin-lock
+    flavour does not change the conclusions. *)
+
+val slots_mutex_impl : Rlk.Intf.rw_impl
+(** [mpi-slots]: the Thakur et al. slot-per-process range lock from the
+    paper's related work, adapted as exclusive-only. *)
+
+val vee_rw_impl : Rlk.Intf.rw_impl
+(** [vee-rw]: Song et al.'s skip-list-under-spin-lock range lock (VEE'13)
+    from the paper's related work. *)
+
+val gpfs_tokens_impl : Rlk.Intf.rw_impl
+(** [gpfs-tokens]: the GPFS token scheme from the paper's related work —
+    near-free repeated access by one thread, expensive revocation-based
+    coordination. Exclusive-only. *)

@@ -1,0 +1,117 @@
+open Rlk_vm
+open Rlk_primitives
+
+type profile = {
+  name : string;
+  allocs_per_task : int;
+  alloc_bytes : int;
+  input_reads_per_task : int;
+  reset_every : int;
+  arena_trim : int;
+}
+
+(* Relative weights modelled on the benchmarks' behaviour: wc allocates
+   modest word-count buckets while scanning a file; wr builds a larger
+   inverted index from the same input; wrmem generates its input in memory,
+   so it allocates most and never reads a shared file. *)
+let wc =
+  { name = "wc"; allocs_per_task = 8; alloc_bytes = 2 * 1024;
+    input_reads_per_task = 32; reset_every = 4; arena_trim = 16 * 1024 }
+
+let wr =
+  { name = "wr"; allocs_per_task = 16; alloc_bytes = 4 * 1024;
+    input_reads_per_task = 32; reset_every = 2; arena_trim = 64 * 1024 }
+
+let wrmem =
+  { name = "wrmem"; allocs_per_task = 24; alloc_bytes = 8 * 1024;
+    input_reads_per_task = 0; reset_every = 2; arena_trim = 64 * 1024 }
+
+let profiles = [ wc; wr; wrmem ]
+
+let profile_of_name n = List.find_opt (fun p -> p.name = n) profiles
+
+type result = {
+  runtime_s : float;
+  tasks : int;
+  op_stats : Sync.op_stats;
+  lock_wait : Lockstat.snapshot;
+  spin_wait : Lockstat.snapshot;
+}
+
+let input_bytes = 2 * 1024 * 1024
+
+(* One map task: allocate and fill intermediate buffers, scan a slice of
+   the shared input. The tiny hash step stands in for the map function's
+   CPU work so the benchmark is not a pure lock ping-pong. *)
+let run_task sync profile arena ~input_base rng =
+  let ( let* ) = Result.bind in
+  let* () =
+    let rec allocs n =
+      if n = 0 then Ok ()
+      else
+        let* addr = Glibc_arena.malloc_touched arena profile.alloc_bytes in
+        ignore (Sys.opaque_identity (addr * 31));
+        allocs (n - 1)
+    in
+    allocs profile.allocs_per_task
+  in
+  let rec reads n =
+    if n = 0 then Ok ()
+    else begin
+      let off = Prng.below rng input_bytes in
+      match Sync.page_fault sync ~addr:(input_base + off) ~access:Prot.Read with
+      | Ok () -> reads (n - 1)
+      | Error `Segv -> Error Mm_ops.Einval
+    end
+  in
+  reads profile.input_reads_per_task
+
+let run ~variant ~profile ~threads ~tasks =
+  let lock_stats = Lockstat.create "mm-lock" in
+  let spin_stats = Lockstat.create "range-tree-spinlock" in
+  let sync = Sync.create ~stats:lock_stats ~spin_stats variant in
+  (* Shared read-only input mapping, as mmaped input files in wc/wr. *)
+  let input_base =
+    match Sync.mmap sync ~len:input_bytes ~prot:Prot.read_only () with
+    | Ok a -> a
+    | Error e -> failwith (Format.asprintf "input mmap failed: %a" Mm_ops.pp_error e)
+  in
+  (* Setup traffic should not pollute the measured statistics. *)
+  Lockstat.reset lock_stats;
+  Lockstat.reset spin_stats;
+  Sync.reset_op_stats sync;
+  let failures = Atomic.make 0 in
+  let per_thread = max 1 (tasks / threads) in
+  let r =
+    Runner.fixed_work ~threads ~worker:(fun ~id ->
+        let rng = Prng.create ~seed:(id * 77 + 5) in
+        match
+          Glibc_arena.create sync ~size:(4 * 1024 * 1024)
+            ~trim_threshold:profile.arena_trim ()
+        with
+        | Error _ -> Atomic.incr failures; 0
+        | Ok arena ->
+          let done_ = ref 0 in
+          for task = 1 to per_thread do
+            (match run_task sync profile arena ~input_base rng with
+             | Ok () -> incr done_
+             | Error _ -> Atomic.incr failures);
+            if task mod profile.reset_every = 0 then
+              match Glibc_arena.reset arena with
+              | Ok () -> ()
+              | Error _ -> Atomic.incr failures
+          done;
+          (match Glibc_arena.destroy arena with
+           | Ok () -> ()
+           | Error _ -> Atomic.incr failures);
+          !done_)
+  in
+  if Atomic.get failures > 0 then
+    failwith
+      (Printf.sprintf "metis %s/%s: %d operation failures" profile.name
+         (Sync.variant_name variant) (Atomic.get failures));
+  { runtime_s = r.Runner.elapsed_s;
+    tasks = r.Runner.total_ops;
+    op_stats = Sync.op_stats sync;
+    lock_wait = Lockstat.snapshot lock_stats;
+    spin_wait = Lockstat.snapshot spin_stats }

@@ -1,0 +1,46 @@
+(** Metis-like VM-stressing workloads — the kernel-space experiments of the
+    paper's Section 7.2 (Figures 5-8), reproduced against the VM simulator.
+
+    Metis is a map-reduce library whose [wc] (word count), [wr] (inverted
+    index) and [wrmem] (in-memory wr) benchmarks stress [mmap_sem] through
+    page faults and GLIBC-arena [mprotect] traffic. Each simulated map task
+    allocates intermediate buffers from the worker's arena (driving
+    boundary-shift mprotects), writes them (driving page faults), reads the
+    shared input mapping ([wc]/[wr] only), and periodically resets the
+    arena (driving shrink mprotects). The total number of tasks is fixed;
+    the metric is wall-clock runtime, lower is better. *)
+
+type profile = {
+  name : string;
+  allocs_per_task : int;   (** arena allocations per map task *)
+  alloc_bytes : int;       (** size of each allocation *)
+  input_reads_per_task : int; (** read faults on the shared input mapping *)
+  reset_every : int;       (** tasks between arena resets *)
+  arena_trim : int;        (** arena trim threshold (bytes kept committed) *)
+}
+
+val wc : profile
+
+val wr : profile
+
+val wrmem : profile
+
+val profiles : profile list
+
+val profile_of_name : string -> profile option
+
+type result = {
+  runtime_s : float;
+  tasks : int;
+  op_stats : Rlk_vm.Sync.op_stats;
+  lock_wait : Rlk_primitives.Lockstat.snapshot;
+      (** [mmap_sem] / range-lock wait times (Figure 7) *)
+  spin_wait : Rlk_primitives.Lockstat.snapshot;
+      (** internal spin-lock wait times, tree variants only (Figure 8) *)
+}
+
+val run :
+  variant:Rlk_vm.Sync.variant -> profile:profile -> threads:int -> tasks:int ->
+  result
+(** Run [tasks] map tasks split across [threads] workers under the given
+    synchronization variant. *)

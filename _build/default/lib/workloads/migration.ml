@@ -1,0 +1,68 @@
+open Rlk_vm
+open Rlk_primitives
+
+type outcome = {
+  migration_s : float;
+  regions_copied : int;
+  mutator_faults : int;
+  mutator_mprotects : int;
+}
+
+let run ~variant ~mutators ?(space_pages = 2048) ?(region_pages = 16) () =
+  let sync = Sync.create variant in
+  let pg = Page.size in
+  match Sync.mmap sync ~len:(space_pages * pg) ~prot:Prot.read_write () with
+  | Error e -> Error (Format.asprintf "guest mmap failed: %a" Mm_ops.pp_error e)
+  | Ok base ->
+    let stop = Atomic.make false in
+    let faults = Atomic.make 0 and mprotects = Atomic.make 0 in
+    let guest =
+      Array.init (max 1 mutators) (fun id ->
+          Domain.spawn (fun () ->
+              let rng = Prng.create ~seed:(id * 91 + 4) in
+              while not (Atomic.get stop) do
+                let page = Prng.below rng space_pages in
+                let addr = base + (page * pg) in
+                (* Mostly writes (dirtying pages); occasionally the write
+                   tracker flips a page read-only and back, as migration
+                   dirty logging does. *)
+                if Prng.below rng 100 < 90 then begin
+                  (match Sync.page_fault sync ~addr ~access:Prot.Write with
+                   | Ok () -> Atomic.incr faults
+                   | Error `Segv -> ())
+                end
+                else begin
+                  let flip p =
+                    match Sync.mprotect sync ~addr:(base + (page * pg)) ~len:pg ~prot:p with
+                    | Ok () -> Atomic.incr mprotects
+                    | Error _ -> ()
+                  in
+                  flip Prot.read_only;
+                  flip Prot.read_write
+                end
+              done))
+    in
+    (* The copier: one read acquisition per region, with per-page copy work
+       done under it (the snapshot must be consistent w.r.t. protection
+       flips, which take write ranges). *)
+    let regions = space_pages / region_pages in
+    let t0 = Clock.now_ns () in
+    for r = 0 to regions - 1 do
+      let lo = base + (r * region_pages * pg) in
+      let region = Rlk.Range.v ~lo ~hi:(lo + (region_pages * pg)) in
+      Sync.read_range sync region (fun () ->
+          for _ = 1 to region_pages do
+            Sim_work.fault ()
+          done)
+    done;
+    let dt = Clock.ns_to_s (Clock.now_ns () - t0) in
+    Atomic.set stop true;
+    Array.iter Domain.join guest;
+    (match Sync.munmap sync ~addr:base ~len:(space_pages * pg) with
+     | Ok () -> ()
+     | Error _ -> ());
+    Ok
+      { migration_s = dt;
+        regions_copied = regions;
+        mutator_faults = Atomic.get faults;
+        mutator_mprotects = Atomic.get mprotects }

@@ -1,0 +1,28 @@
+(** Live VM migration workload — the scenario that motivated Song et al.'s
+    range lock (paper's related work [35]): a migration thread walks the
+    guest's address space copying it region by region while the guest keeps
+    running. The copier snapshots each region under a {e read} acquisition
+    of that region's range; guest mutator threads keep faulting pages and
+    flipping protections (write tracking) concurrently.
+
+    The metric is migration time for a fixed address-space size at a fixed
+    number of mutators: range-refined locks let the copier and the guest
+    overlap; full-range and semaphore schemes serialize them. *)
+
+type outcome = {
+  migration_s : float;    (** time to copy every region once *)
+  regions_copied : int;
+  mutator_faults : int;   (** guest activity achieved during migration *)
+  mutator_mprotects : int;
+}
+
+val run :
+  variant:Rlk_vm.Sync.variant ->
+  mutators:int ->
+  ?space_pages:int ->
+  ?region_pages:int ->
+  unit ->
+  (outcome, string) result
+(** Build a [space_pages] (default 2048) address space, start [mutators]
+    guest threads, and measure one full copy pass in [region_pages]
+    (default 16) chunks. *)

@@ -1,0 +1,84 @@
+open Rlk_primitives
+
+(* OCaml 5.1 reserves each domain's minor arena at startup, so the minor
+   heap can only be enlarged through OCAMLRUNPARAM before the runtime
+   boots; [Gc.set] reports the new size but changes nothing. Benchmarks
+   need the larger heap (minor collections are stop-the-world across
+   domains and an oversubscribed domain stalls each one for a scheduling
+   quantum), so re-exec ourselves once with the parameter set. *)
+let reexec_guard = "RLK_BENCH_REEXEC"
+
+let init () =
+  let has_minor_heap_param =
+    match Sys.getenv_opt "OCAMLRUNPARAM" with
+    | Some p ->
+      String.split_on_char ',' p
+      |> List.exists (fun item -> String.length item > 1 && item.[0] = 's')
+    | None -> false
+  in
+  if (not has_minor_heap_param) && Sys.getenv_opt reexec_guard = None then begin
+    let extended =
+      match Sys.getenv_opt "OCAMLRUNPARAM" with
+      | Some p -> p ^ ",s=4M"
+      | None -> "s=4M"
+    in
+    let env =
+      Array.append (Unix.environment ())
+        [| "OCAMLRUNPARAM=" ^ extended; reexec_guard ^ "=1" |]
+    in
+    try Unix.execve Sys.executable_name Sys.argv env
+    with Unix.Unix_error _ -> () (* fall through: run with the small heap *)
+  end
+
+type result = {
+  threads : int;
+  total_ops : int;
+  elapsed_s : float;
+  throughput : float;
+}
+
+let finish ~threads ~total_ops ~elapsed_s =
+  { threads; total_ops; elapsed_s;
+    throughput = (if elapsed_s > 0.0 then float_of_int total_ops /. elapsed_s else 0.0) }
+
+let throughput ~threads ~duration_s ~worker =
+  if threads <= 0 then invalid_arg "Runner.throughput";
+  let ready = Atomic.make 0 in
+  let go = Atomic.make false in
+  let stop = Atomic.make false in
+  let domains =
+    Array.init threads (fun id ->
+        Domain.spawn (fun () ->
+            Atomic.incr ready;
+            while not (Atomic.get go) do Domain.cpu_relax () done;
+            worker ~id ~stop:(fun () -> Atomic.get stop)))
+  in
+  while Atomic.get ready < threads do Domain.cpu_relax () done;
+  let t0 = Clock.now_ns () in
+  Atomic.set go true;
+  Unix.sleepf duration_s;
+  Atomic.set stop true;
+  let elapsed_s = Clock.ns_to_s (Clock.now_ns () - t0) in
+  let total_ops = Array.fold_left (fun acc d -> acc + Domain.join d) 0 domains in
+  finish ~threads ~total_ops ~elapsed_s
+
+let fixed_work ~threads ~worker =
+  if threads <= 0 then invalid_arg "Runner.fixed_work";
+  let ready = Atomic.make 0 in
+  let go = Atomic.make false in
+  let domains =
+    Array.init threads (fun id ->
+        Domain.spawn (fun () ->
+            Atomic.incr ready;
+            while not (Atomic.get go) do Domain.cpu_relax () done;
+            worker ~id))
+  in
+  while Atomic.get ready < threads do Domain.cpu_relax () done;
+  let t0 = Clock.now_ns () in
+  Atomic.set go true;
+  let total_ops = Array.fold_left (fun acc d -> acc + Domain.join d) 0 domains in
+  let elapsed_s = Clock.ns_to_s (Clock.now_ns () - t0) in
+  finish ~threads ~total_ops ~elapsed_s
+
+let pin_thread_counts ~max =
+  List.filter (fun n -> n <= max) [ 1; 2; 3; 4; 6; 8; 12; 16 ]

@@ -1,0 +1,39 @@
+(** Multi-domain benchmark runner: spawn N domains, start them together,
+    and either run for a fixed duration (throughput experiments: ArrBench,
+    skip lists) or until a fixed amount of work completes (runtime
+    experiments: Metis).
+
+    Thread counts beyond the machine's core count oversubscribe — on this
+    2-CPU container that happens early; all lock implementations in this
+    repository deschedule politely while waiting, so the comparison stays
+    meaningful (see DESIGN.md). *)
+
+val init : unit -> unit
+(** Benchmark process setup: enlarge the minor heap (OCaml 5.1 minor
+    collections are stop-the-world across domains; on an oversubscribed
+    host each one can stall for a scheduling quantum, drowning the lock
+    costs being measured). Call once, before any domain is spawned. *)
+
+type result = {
+  threads : int;
+  total_ops : int;
+  elapsed_s : float;
+  throughput : float; (** total_ops / elapsed_s *)
+}
+
+val throughput :
+  threads:int ->
+  duration_s:float ->
+  worker:(id:int -> stop:(unit -> bool) -> int) ->
+  result
+(** Each worker loops until [stop ()] and returns how many operations it
+    completed. Workers start simultaneously (barrier). *)
+
+val fixed_work : threads:int -> worker:(id:int -> int) -> result
+(** Each worker performs its share of a fixed workload and returns its
+    operation count; [elapsed_s] is the wall time until the slowest worker
+    finished — the paper's Metis "runtime" metric. *)
+
+val pin_thread_counts : max:int -> int list
+(** The sweep used by the benchmarks: 1, 2, 3, 4, 6, 8, 12, 16 ... capped
+    at [max]. *)

@@ -1,0 +1,93 @@
+type t = {
+  title : string;
+  ylabel : string;
+  cols : string list;
+  note : string option;
+  mutable rows_rev : (string * float list) list;
+}
+
+let create ~title ~ylabel ~columns ?note () =
+  { title; ylabel; cols = columns; note; rows_rev = [] }
+
+let add_row t ~label ~values =
+  if List.length values <> List.length t.cols then
+    invalid_arg "Series.add_row: value count does not match columns";
+  t.rows_rev <- (label, values) :: t.rows_rev
+
+let columns t = t.cols
+
+let rows t = List.rev t.rows_rev
+
+(* Compact human-readable numbers: 1234567 -> 1.23M. *)
+let pp_value v =
+  let a = abs_float v in
+  if a >= 1e9 then Printf.sprintf "%.2fG" (v /. 1e9)
+  else if a >= 1e6 then Printf.sprintf "%.2fM" (v /. 1e6)
+  else if a >= 1e4 then Printf.sprintf "%.1fk" (v /. 1e3)
+  else if a >= 100.0 then Printf.sprintf "%.0f" v
+  else if a >= 1.0 then Printf.sprintf "%.2f" v
+  else Printf.sprintf "%.4f" v
+
+let to_string t =
+  let buf = Buffer.create 512 in
+  let headers = "threads" :: t.cols in
+  let body =
+    List.map (fun (label, vs) -> label :: List.map pp_value vs) (rows t)
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+         List.fold_left (fun w row -> max w (String.length (List.nth row i)))
+           (String.length h) body)
+      headers
+  in
+  let line cells =
+    List.iteri
+      (fun i c ->
+         let w = List.nth widths i in
+         Buffer.add_string buf (Printf.sprintf "%*s  " w c))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf (Printf.sprintf "== %s ==\n" t.title);
+  Buffer.add_string buf (Printf.sprintf "   (%s)\n" t.ylabel);
+  line headers;
+  line (List.map (fun w -> String.make w '-') widths);
+  List.iter (fun (label, vs) -> line (label :: List.map pp_value vs)) (rows t);
+  (match t.note with
+   | Some n -> Buffer.add_string buf (Printf.sprintf "   paper: %s\n" n)
+   | None -> ());
+  Buffer.contents buf
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (String.concat "," ("threads" :: t.cols));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (label, vs) ->
+       Buffer.add_string buf
+         (String.concat "," (label :: List.map (Printf.sprintf "%.6g") vs));
+       Buffer.add_char buf '\n')
+    (rows t);
+  Buffer.contents buf
+
+let title t = t.title
+
+let slug t =
+  String.map
+    (fun c ->
+       match c with
+       | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> Char.lowercase_ascii c
+       | _ -> '-')
+    t.title
+  |> fun s ->
+  (* collapse runs of dashes *)
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+       if c <> '-' || (Buffer.length buf > 0 && Buffer.nth buf (Buffer.length buf - 1) <> '-')
+       then Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let print t = print_string (to_string t); print_newline ()

@@ -1,0 +1,30 @@
+(** Plain-text rendering of benchmark series: one table per figure, rows =
+    thread counts, columns = lock variants — the textual equivalent of the
+    paper's plots, plus a free-form "expected shape" note recording what
+    the paper's version of the figure shows. *)
+
+type t
+
+val create :
+  title:string -> ylabel:string -> columns:string list -> ?note:string -> unit -> t
+
+val add_row : t -> label:string -> values:float list -> unit
+(** [values] must match [columns] in length. *)
+
+val print : t -> unit
+(** Render to stdout. *)
+
+val to_string : t -> string
+
+val to_csv : t -> string
+(** Machine-readable form: a header row ([threads,<col>,...]) then one row
+    per label, full float precision. *)
+
+val title : t -> string
+
+val slug : t -> string
+(** Filesystem-friendly identifier derived from the title. *)
+
+val columns : t -> string list
+
+val rows : t -> (string * float list) list

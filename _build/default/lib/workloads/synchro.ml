@@ -1,0 +1,23 @@
+open Rlk_primitives
+
+let run ~set:(module S : Rlk_skiplist.Skiplist_intf.SET) ~threads
+    ?(key_range = 262_144) ?prefill ?(update_pct = 20) ~duration_s () =
+  let prefill = match prefill with Some p -> p | None -> key_range / 2 in
+  let s = S.create () in
+  let rng = Prng.create ~seed:4242 in
+  let filled = ref 0 in
+  while !filled < prefill do
+    if S.add s (Prng.below rng key_range) then incr filled
+  done;
+  Runner.throughput ~threads ~duration_s ~worker:(fun ~id ~stop ->
+      let rng = Prng.create ~seed:(id * 31 + 7) in
+      let ops = ref 0 in
+      while not (stop ()) do
+        let k = Prng.below rng key_range in
+        let pct = Prng.below rng 100 in
+        if pct >= update_pct then ignore (S.contains s k)
+        else if pct land 1 = 0 then ignore (S.add s k)
+        else ignore (S.remove s k);
+        incr ops
+      done;
+      !ops)

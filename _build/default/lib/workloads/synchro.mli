@@ -1,0 +1,16 @@
+(** Synchrobench-style skip-list benchmark (the paper's Figure 4): a set
+    workload of 80% finds and 20% updates split evenly between inserts and
+    removes, over a prefilled skip list. The paper uses an 8M key range
+    half-filled with 4M keys; the [key_range]/[prefill] parameters default
+    to a container-friendly scale with the same 1/2 fill ratio. *)
+
+val run :
+  set:Rlk_skiplist.Skiplist_intf.set_impl ->
+  threads:int ->
+  ?key_range:int ->
+  ?prefill:int ->
+  ?update_pct:int ->
+  duration_s:float ->
+  unit ->
+  Runner.result
+(** Defaults: [key_range] 262144, [prefill] half of it, [update_pct] 20. *)

@@ -1,0 +1,1 @@
+test/stress_helpers.ml: Array Atomic Domain Intf Prng Range Rlk Rlk_primitives

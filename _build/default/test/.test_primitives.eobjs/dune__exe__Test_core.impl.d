@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Atomic Domain Fairgate List List_mutex List_rw Metrics Node Option Printf Prng QCheck QCheck_alcotest Range Rlk Rlk_ebr Rlk_primitives String

@@ -1,0 +1,1 @@
+test/test_ebr.ml: Alcotest Atomic Domain Epoch List Pool Rlk_ebr Unix

@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Array Atomic Bytes Char Domain List Rlk Rlk_fs Rlk_primitives Rlk_workloads Stress_helpers

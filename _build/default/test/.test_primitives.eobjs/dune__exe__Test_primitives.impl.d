@@ -1,0 +1,1 @@
+test/test_primitives.ml: Alcotest Array Atomic Backoff Clock Domain Domain_id Lockstat Padded_counters Prng Rlk_primitives Rwlock Rwsem Seqcount Spinlock Sys Ticketlock Unix

@@ -1,0 +1,1 @@
+test/test_rbtree.ml: Alcotest Int List Option Printf QCheck QCheck_alcotest Rlk_rbtree String

@@ -1,0 +1,1 @@
+test/test_skiplist.ml: Alcotest Array Atomic Int List Optimistic QCheck QCheck_alcotest Range_skiplist Rlk_primitives Rlk_skiplist Set Skiplist_intf Stress_helpers

@@ -1,0 +1,1 @@
+test/test_structures.ml: Alcotest Array Atomic Domain Hashtbl Int List QCheck QCheck_alcotest Rlk Rlk_primitives Rlk_structures Set Stress_helpers Unix

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Atomic Domain Format Glibc_arena List Mm Mm_ops Option Page Printf Prot QCheck QCheck_alcotest Rlk Rlk_vm Stress_helpers String Sync Trace Unix Vma

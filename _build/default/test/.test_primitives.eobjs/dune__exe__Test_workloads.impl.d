@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Arrbench List Locks Metis Migration Printf Rlk Rlk_primitives Rlk_skiplist Rlk_vm Rlk_workloads Runner Series String Synchro Sys

@@ -1,0 +1,89 @@
+(* Shared concurrency-stress machinery for testing every range-lock
+   implementation against the same exclusion invariants. *)
+
+open Rlk
+
+let make_barrier n =
+  let waiting = Atomic.make n in
+  fun () ->
+    Atomic.decr waiting;
+    while Atomic.get waiting > 0 do Domain.cpu_relax () done
+
+let spawn_n n f = Array.init n (fun i -> Domain.spawn (fun () -> f i))
+
+let join_all ds = Array.iter Domain.join ds
+
+let random_range rng ~slots =
+  let open Rlk_primitives in
+  let a = Prng.below rng slots and b = Prng.below rng slots in
+  let lo = min a b and hi = max a b + 1 in
+  Range.v ~lo ~hi
+
+(* Per-slot reader/writer occupancy checker. Writers must be alone on every
+   slot of their range; readers must never share a slot with a writer. *)
+type rw_checker = {
+  violated : bool Atomic.t;
+  enter : Range.t -> reader:bool -> unit;
+  leave : Range.t -> reader:bool -> unit;
+}
+
+let make_rw_checker ~slots =
+  let state = Array.init slots (fun _ -> Atomic.make 0) in
+  let violated = Atomic.make false in
+  let writer_unit = 1_000_000 in
+  let enter r ~reader =
+    for i = Range.lo r to Range.hi r - 1 do
+      let prev = Atomic.fetch_and_add state.(i) (if reader then 1 else writer_unit) in
+      if reader then begin
+        if prev >= writer_unit then Atomic.set violated true
+      end
+      else if prev <> 0 then Atomic.set violated true
+    done
+  and leave r ~reader =
+    for i = Range.lo r to Range.hi r - 1 do
+      ignore (Atomic.fetch_and_add state.(i) (if reader then -1 else -writer_unit))
+    done
+  in
+  { violated; enter; leave }
+
+(* Run a mixed read/write stress over any RW implementation; returns whether
+   the exclusion invariant was ever violated. *)
+let rw_stress (module L : Intf.RW) ~domains ~iters ~write_pct ~slots () =
+  let l = L.create () in
+  let c = make_rw_checker ~slots in
+  let barrier = make_barrier domains in
+  let ds =
+    spawn_n domains (fun id ->
+        let rng = Rlk_primitives.Prng.create ~seed:(id * 104729 + 3) in
+        barrier ();
+        for _ = 1 to iters do
+          let r = random_range rng ~slots in
+          let reader = Rlk_primitives.Prng.below rng 100 >= write_pct in
+          let h = if reader then L.read_acquire l r else L.write_acquire l r in
+          c.enter r ~reader;
+          c.leave r ~reader;
+          L.release l h
+        done)
+  in
+  join_all ds;
+  Atomic.get c.violated
+
+(* Exclusive-only stress over any MUTEX implementation. *)
+let mutex_stress (module L : Intf.MUTEX) ~domains ~iters ~slots () =
+  let l = L.create () in
+  let c = make_rw_checker ~slots in
+  let barrier = make_barrier domains in
+  let ds =
+    spawn_n domains (fun id ->
+        let rng = Rlk_primitives.Prng.create ~seed:(id * 65537 + 11) in
+        barrier ();
+        for _ = 1 to iters do
+          let r = random_range rng ~slots in
+          let h = L.acquire l r in
+          c.enter r ~reader:false;
+          c.leave r ~reader:false;
+          L.release l h
+        done)
+  in
+  join_all ds;
+  Atomic.get c.violated

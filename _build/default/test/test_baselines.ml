@@ -1,0 +1,488 @@
+open Rlk
+open Rlk_baselines
+
+let range lo hi = Range.v ~lo ~hi
+
+(* ---- Tree_mutex (lustre-ex) ---- *)
+
+let test_tree_mutex_sequential () =
+  let l = Tree_mutex.create () in
+  let h1 = Tree_mutex.acquire l (range 0 10) in
+  Alcotest.(check bool) "overlap refused" true
+    (Tree_mutex.try_acquire l (range 5 15) = None);
+  let h2 = Tree_mutex.acquire l (range 10 20) in
+  Alcotest.(check int) "two in tree" 2 (Tree_mutex.pending l);
+  Tree_mutex.release l h1;
+  Tree_mutex.release l h2;
+  Alcotest.(check int) "tree drained" 0 (Tree_mutex.pending l);
+  let h = Tree_mutex.acquire l (range 5 15) in
+  Tree_mutex.release l h
+
+let test_tree_mutex_fifo_blocking () =
+  (* The paper's Section 3 example: A=[1,3) held; B=[2,7) waits on A;
+     C=[4,5) — although disjoint from A — queues behind the waiting B.
+     The tree lock must NOT grant C while B is in the tree. *)
+  let l = Tree_mutex.create () in
+  let ha = Tree_mutex.acquire l (range 1 3) in
+  let b_granted = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        let hb = Tree_mutex.acquire l (range 2 7) in
+        Atomic.set b_granted true;
+        Tree_mutex.release l hb)
+  in
+  (* Wait until B is queued in the tree. *)
+  while Tree_mutex.pending l < 2 do Domain.cpu_relax () done;
+  Alcotest.(check bool) "C queues behind waiting B (no concurrency)" true
+    (Tree_mutex.try_acquire l (range 4 5) = None);
+  Tree_mutex.release l ha;
+  Domain.join d;
+  Alcotest.(check bool) "B eventually granted" true (Atomic.get b_granted)
+
+let test_tree_mutex_stress () =
+  let violated =
+    Stress_helpers.mutex_stress
+      (module struct
+        include Tree_mutex
+
+        let create ?stats () = create ?stats ()
+      end)
+      ~domains:4 ~iters:2_000 ~slots:64 ()
+  in
+  Alcotest.(check bool) "no exclusion violation" false violated
+
+(* ---- Tree_rw (kernel-rw) ---- *)
+
+let test_tree_rw_sequential () =
+  let l = Tree_rw.create () in
+  let r1 = Tree_rw.read_acquire l (range 0 20) in
+  Alcotest.(check bool) "overlapping reader shares" true
+    (match Tree_rw.try_read_acquire l (range 10 30) with
+     | Some h -> Tree_rw.release l h; true
+     | None -> false);
+  Alcotest.(check bool) "writer blocked by reader" true
+    (Tree_rw.try_write_acquire l (range 10 30) = None);
+  Tree_rw.release l r1;
+  let w = Tree_rw.write_acquire l (range 0 20) in
+  Alcotest.(check bool) "reader blocked by writer" true
+    (Tree_rw.try_read_acquire l (range 19 25) = None);
+  Alcotest.(check bool) "disjoint writer ok" true
+    (match Tree_rw.try_write_acquire l (range 20 30) with
+     | Some h -> Tree_rw.release l h; true
+     | None -> false);
+  Tree_rw.release l w
+
+let test_tree_rw_queued_reader_blocks () =
+  (* FIFO semantics: a reader arriving after a waiting writer waits too. *)
+  let l = Tree_rw.create () in
+  let hr = Tree_rw.read_acquire l (range 0 10) in
+  let writer_granted = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        let hw = Tree_rw.write_acquire l (range 0 10) in
+        Atomic.set writer_granted true;
+        Tree_rw.release l hw)
+  in
+  while Tree_rw.pending l < 2 do Domain.cpu_relax () done;
+  Alcotest.(check bool) "late reader queues behind waiting writer" true
+    (Tree_rw.try_read_acquire l (range 5 15) = None);
+  Tree_rw.release l hr;
+  Domain.join d;
+  Alcotest.(check bool) "writer eventually granted" true
+    (Atomic.get writer_granted)
+
+let test_tree_rw_stress () =
+  let violated =
+    Stress_helpers.rw_stress
+      (module struct
+        include Tree_rw
+
+        let create ?stats () = create ?stats ()
+      end)
+      ~domains:4 ~iters:2_000 ~write_pct:40 ~slots:64 ()
+  in
+  Alcotest.(check bool) "no rw violation" false violated
+
+let test_tree_rw_spin_stats () =
+  let spin = Rlk_primitives.Lockstat.create "range-tree-spinlock" in
+  let l = Tree_rw.create ~spin_stats:spin () in
+  Tree_rw.with_write l (range 0 10) (fun () -> ());
+  let s = Rlk_primitives.Lockstat.snapshot spin in
+  (* acquire + release each take the spin lock once *)
+  Alcotest.(check int) "spin lock acquisitions recorded" 2
+    s.Rlk_primitives.Lockstat.write_count
+
+(* ---- Segment_rw (pnova-rw) ---- *)
+
+let test_segment_basic () =
+  let l = Segment_rw.create ~segments:16 ~segment_size:4 () in
+  Alcotest.(check int) "segments" 16 (Segment_rw.segments l);
+  let w = Segment_rw.write_acquire l (range 0 8) in
+  (* Segments 0 and 1 are write-held; slot 10 lives in segment 2. *)
+  let r = Segment_rw.read_acquire l (range 10 12) in
+  Segment_rw.release l r;
+  Segment_rw.release l w
+
+let test_segment_false_sharing () =
+  (* Disjoint ranges in the same segment conflict — the false sharing the
+     paper criticizes. Verified via a cross-domain hold. *)
+  let l = Segment_rw.create ~segments:4 ~segment_size:16 () in
+  let holding = Atomic.make false and release = Atomic.make false in
+  let blocked_done = Atomic.make false in
+  let holder =
+    Domain.spawn (fun () ->
+        let h = Segment_rw.write_acquire l (range 0 4) in
+        Atomic.set holding true;
+        while not (Atomic.get release) do Domain.cpu_relax () done;
+        Segment_rw.release l h)
+  in
+  while not (Atomic.get holding) do Domain.cpu_relax () done;
+  let contender =
+    Domain.spawn (fun () ->
+        (* [8,12) is disjoint from [0,4) but shares segment 0. *)
+        let h = Segment_rw.write_acquire l (range 8 12) in
+        Segment_rw.release l h;
+        Atomic.set blocked_done true)
+  in
+  Unix.sleepf 0.05;
+  Alcotest.(check bool) "same-segment disjoint range blocked" false
+    (Atomic.get blocked_done);
+  Atomic.set release true;
+  Domain.join holder;
+  Domain.join contender;
+  Alcotest.(check bool) "eventually granted" true (Atomic.get blocked_done)
+
+let test_segment_full_range () =
+  let l = Segment_rw.create ~segments:8 ~segment_size:8 () in
+  let h = Segment_rw.write_acquire l Range.full in
+  let other_blocked =
+    Domain.spawn (fun () ->
+        Segment_rw.with_read l (range 60 61) (fun () -> ()) |> ignore;
+        true)
+  in
+  Unix.sleepf 0.02;
+  Segment_rw.release l h;
+  Alcotest.(check bool) "full range covered every segment" true
+    (Domain.join other_blocked)
+
+let test_segment_stress () =
+  let violated =
+    Stress_helpers.rw_stress
+      (Segment_rw.impl ~segments:64 ~segment_size:1)
+      ~domains:4 ~iters:2_000 ~write_pct:40 ~slots:64 ()
+  in
+  Alcotest.(check bool) "no rw violation" false violated
+
+(* ---- Interval_skiplist (the VEE'13 index) ---- *)
+
+let test_iskip_basic () =
+  let t = Interval_skiplist.create () in
+  Alcotest.(check bool) "empty" true (Interval_skiplist.is_empty t);
+  let a = Interval_skiplist.insert t ~lo:0 ~hi:10 "a" in
+  let _b = Interval_skiplist.insert t ~lo:20 ~hi:30 "b" in
+  let _c = Interval_skiplist.insert t ~lo:5 ~hi:25 "c" in
+  Alcotest.(check int) "size" 3 (Interval_skiplist.size t);
+  (match Interval_skiplist.check_invariants t with
+   | Ok () -> ()
+   | Error m -> Alcotest.failf "invariant: %s" m);
+  let hits lo hi =
+    let acc = ref [] in
+    Interval_skiplist.iter_overlaps t ~lo ~hi (fun n ->
+        acc := Interval_skiplist.data n :: !acc);
+    List.sort compare !acc
+  in
+  Alcotest.(check (list string)) "stab 7" [ "a"; "c" ] (hits 7 8);
+  Alcotest.(check (list string)) "stab 22" [ "b"; "c" ] (hits 22 23);
+  Alcotest.(check (list string)) "half-open boundary" [] (hits 10 20 |> List.filter (fun x -> x = "a" || x = "b"));
+  Interval_skiplist.remove t a;
+  Alcotest.(check (list string)) "a removed" [ "c" ] (hits 7 8);
+  (match Interval_skiplist.check_invariants t with
+   | Ok () -> ()
+   | Error m -> Alcotest.failf "invariant after remove: %s" m);
+  (* Stale handle flagged. *)
+  (try
+     Interval_skiplist.remove t a;
+     Alcotest.fail "double remove accepted"
+   with Invalid_argument _ -> ())
+
+let prop_iskip_matches_naive =
+  let iv_gen =
+    QCheck.Gen.(map2 (fun lo len -> (lo, lo + 1 + len)) (int_bound 100) (int_bound 30))
+  in
+  let script_gen = QCheck.Gen.(list_size (int_range 1 80) (pair bool iv_gen)) in
+  QCheck.Test.make ~name:"interval skiplist matches naive filter" ~count:150
+    (QCheck.make script_gen
+       ~print:(fun script ->
+         String.concat ";"
+           (List.map
+              (fun (add, (lo, hi)) ->
+                 Printf.sprintf "%c[%d,%d)" (if add then '+' else '-') lo hi)
+              script)))
+    (fun script ->
+      let t = Interval_skiplist.create () in
+      let live = ref [] in
+      List.iter
+        (fun (add, (lo, hi)) ->
+           if add then live := (Interval_skiplist.insert t ~lo ~hi (), (lo, hi)) :: !live
+           else
+             match !live with
+             | [] -> ()
+             | (n, _) :: rest ->
+               Interval_skiplist.remove t n;
+               live := rest)
+        script;
+      (match Interval_skiplist.check_invariants t with
+       | Ok () -> ()
+       | Error m -> QCheck.Test.fail_reportf "invariant: %s" m);
+      List.for_all
+        (fun (qlo, qhi) ->
+           Interval_skiplist.count_overlaps t ~lo:qlo ~hi:qhi (fun _ -> true)
+           = List.length
+               (List.filter (fun (_, (lo, hi)) -> lo < qhi && qlo < hi) !live))
+        [ (0, 1); (0, 200); (50, 60); (99, 140); (130, 131) ])
+
+(* ---- Vee_rw (Song et al.) ---- *)
+
+let test_vee_sequential () =
+  let l = Vee_rw.create () in
+  let r1 = Vee_rw.read_acquire l (range 0 20) in
+  Alcotest.(check bool) "reader shares" true
+    (match Vee_rw.try_read_acquire l (range 10 30) with
+     | Some h -> Vee_rw.release l h; true
+     | None -> false);
+  Alcotest.(check bool) "writer blocked" true
+    (Vee_rw.try_write_acquire l (range 10 30) = None);
+  Vee_rw.release l r1;
+  let w = Vee_rw.write_acquire l (range 0 20) in
+  Alcotest.(check bool) "reader blocked by writer" true
+    (Vee_rw.try_read_acquire l (range 19 25) = None);
+  Vee_rw.release l w;
+  Alcotest.(check int) "drained" 0 (Vee_rw.pending l)
+
+let test_vee_stress () =
+  let violated =
+    Stress_helpers.rw_stress
+      (module struct
+        include Vee_rw
+
+        let create ?stats () = create ?stats ()
+      end)
+      ~domains:4 ~iters:2_000 ~write_pct:40 ~slots:64 ()
+  in
+  Alcotest.(check bool) "no rw violation" false violated
+
+(* ---- Slots_mutex (Thakur et al.) ---- *)
+
+let test_slots_sequential () =
+  let l = Slots_mutex.create () in
+  let h = Slots_mutex.acquire l (range 0 10) in
+  (* Same-domain double acquisition is a usage error in this design. *)
+  (try
+     ignore (Slots_mutex.acquire l (range 50 60));
+     Alcotest.fail "nested acquisition accepted"
+   with Invalid_argument _ -> ());
+  Slots_mutex.release l h;
+  let h = Slots_mutex.acquire l (range 5 15) in
+  Slots_mutex.release l h
+
+let test_slots_cross_domain_conflict () =
+  let l = Slots_mutex.create () in
+  let holding = Atomic.make false and release = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        let h = Slots_mutex.acquire l (range 0 10) in
+        Atomic.set holding true;
+        while not (Atomic.get release) do Domain.cpu_relax () done;
+        Slots_mutex.release l h)
+  in
+  while not (Atomic.get holding) do Domain.cpu_relax () done;
+  Alcotest.(check bool) "overlap refused" true
+    (Slots_mutex.try_acquire l (range 5 15) = None);
+  Alcotest.(check bool) "retreat counted" true (Slots_mutex.retreats l >= 1);
+  (match Slots_mutex.try_acquire l (range 10 20) with
+   | Some h -> Slots_mutex.release l h
+   | None -> Alcotest.fail "disjoint refused");
+  Atomic.set release true;
+  Domain.join d
+
+let test_slots_stress () =
+  let violated =
+    Stress_helpers.mutex_stress
+      (module struct
+        include Slots_mutex
+
+        let create ?stats () = create ?stats ()
+      end)
+      ~domains:4 ~iters:2_000 ~slots:64 ()
+  in
+  Alcotest.(check bool) "no exclusion violation" false violated
+
+let test_slots_livelock_free () =
+  (* Two domains hammering the same range: the priority rule must keep them
+     moving (this is the liveness issue the paper raises for this design). *)
+  let l = Slots_mutex.create () in
+  let done_count = Atomic.make 0 in
+  let ds =
+    Stress_helpers.spawn_n 2 (fun _ ->
+        for _ = 1 to 2_000 do
+          Slots_mutex.with_range l (range 0 10) (fun () -> Atomic.incr done_count)
+        done)
+  in
+  Stress_helpers.join_all ds;
+  Alcotest.(check int) "all critical sections ran" 4_000 (Atomic.get done_count)
+
+(* ---- Gpfs_tokens ---- *)
+
+let test_gpfs_caching () =
+  let l = Gpfs_tokens.create () in
+  (* First touch grants the whole file. *)
+  Gpfs_tokens.with_range l (range 0 10) (fun () -> ());
+  Alcotest.(check int) "one manager grant" 1 (Gpfs_tokens.grants l);
+  Alcotest.(check bool) "token covers everything now" true
+    (match Gpfs_tokens.token_of l with
+     | [ r ] -> Rlk.Range.is_full r
+     | _ -> false);
+  (* Subsequent disjoint accesses ride the cached token. *)
+  for i = 0 to 9 do
+    Gpfs_tokens.with_range l (range (i * 100) ((i * 100) + 50)) (fun () -> ())
+  done;
+  Alcotest.(check int) "no further grants" 1 (Gpfs_tokens.grants l);
+  Alcotest.(check int) "no revocations" 0 (Gpfs_tokens.revocations l)
+
+let test_gpfs_revocation () =
+  let l = Gpfs_tokens.create () in
+  Gpfs_tokens.with_range l (range 0 10) (fun () -> ());
+  (* Another domain's request must carve up our whole-file token. *)
+  let d =
+    Domain.spawn (fun () -> Gpfs_tokens.with_range l (range 100 200) (fun () -> ()))
+  in
+  Domain.join d;
+  Alcotest.(check bool) "revocation happened" true (Gpfs_tokens.revocations l >= 1);
+  (* Our token now has a hole at [100, 200). *)
+  let holes = Gpfs_tokens.token_of l in
+  Alcotest.(check bool) "hole carved" true
+    (List.for_all (fun p -> not (Rlk.Range.overlap p (range 100 200))) holes);
+  (* Re-acquiring the hole goes back through the manager. *)
+  let before = Gpfs_tokens.grants l in
+  Gpfs_tokens.with_range l (range 120 130) (fun () -> ());
+  Alcotest.(check int) "slow path again" (before + 1) (Gpfs_tokens.grants l)
+
+let test_gpfs_exclusion_stress () =
+  let violated =
+    Stress_helpers.mutex_stress
+      (module struct
+        include Gpfs_tokens
+
+        let create ?stats () = create ?stats ()
+      end)
+      ~domains:4 ~iters:1_500 ~slots:64 ()
+  in
+  Alcotest.(check bool) "no exclusion violation" false violated
+
+let test_gpfs_revoker_waits_for_cs () =
+  let l = Gpfs_tokens.create () in
+  let in_cs = Atomic.make false and release = Atomic.make false in
+  let holder =
+    Domain.spawn (fun () ->
+        Gpfs_tokens.with_range l (range 0 100) (fun () ->
+            Atomic.set in_cs true;
+            while not (Atomic.get release) do Domain.cpu_relax () done))
+  in
+  while not (Atomic.get in_cs) do Domain.cpu_relax () done;
+  let contender_done = Atomic.make false in
+  let contender =
+    Domain.spawn (fun () ->
+        Gpfs_tokens.with_range l (range 50 60) (fun () -> ());
+        Atomic.set contender_done true)
+  in
+  Unix.sleepf 0.05;
+  Alcotest.(check bool) "revocation waits out the critical section" false
+    (Atomic.get contender_done);
+  Atomic.set release true;
+  Domain.join holder;
+  Domain.join contender;
+  Alcotest.(check bool) "granted after CS exit" true (Atomic.get contender_done)
+
+(* ---- Tree lock with ticket guard (footnote 5) ---- *)
+
+let test_tree_ticket_guard () =
+  let l = Tree_rw.create ~guard:Rlk_baselines.Tree_lock.Ticket () in
+  let h = Tree_rw.write_acquire l (range 0 10) in
+  Alcotest.(check bool) "conflict refused" true
+    (Tree_rw.try_read_acquire l (range 5 15) = None);
+  Tree_rw.release l h;
+  let violated =
+    Stress_helpers.rw_stress
+      (module struct
+        include Tree_rw
+
+        let create ?stats () = create ?stats ~guard:Rlk_baselines.Tree_lock.Ticket ()
+      end)
+      ~domains:4 ~iters:1_500 ~write_pct:40 ~slots:64 ()
+  in
+  Alcotest.(check bool) "no rw violation with ticket guard" false violated
+
+(* ---- Single_rwsem (stock) ---- *)
+
+let test_single_rwsem_semantics () =
+  let violated =
+    Stress_helpers.rw_stress
+      (module Single_rwsem)
+      ~domains:4 ~iters:2_000 ~write_pct:40 ~slots:16 ()
+  in
+  Alcotest.(check bool) "no rw violation" false violated
+
+(* ---- Rw_of_mutex adapter ---- *)
+
+let test_rw_of_mutex_adapter () =
+  let module A = Intf.Rw_of_mutex (Intf.List_mutex_impl) in
+  let violated =
+    Stress_helpers.rw_stress (module A) ~domains:4 ~iters:1_000 ~write_pct:40
+      ~slots:32 ()
+  in
+  Alcotest.(check bool) "adapter preserves exclusion" false violated
+
+let () =
+  Alcotest.run "baselines"
+    [ ("tree-mutex",
+       [ Alcotest.test_case "sequential semantics" `Quick test_tree_mutex_sequential;
+         Alcotest.test_case "FIFO queueing (paper s.3 example)" `Quick
+           test_tree_mutex_fifo_blocking;
+         Alcotest.test_case "stress" `Quick test_tree_mutex_stress ]);
+      ("tree-rw",
+       [ Alcotest.test_case "sequential semantics" `Quick test_tree_rw_sequential;
+         Alcotest.test_case "late reader queues behind writer" `Quick
+           test_tree_rw_queued_reader_blocks;
+         Alcotest.test_case "stress" `Quick test_tree_rw_stress;
+         Alcotest.test_case "spin lock stats" `Quick test_tree_rw_spin_stats ]);
+      ("segment-rw",
+       [ Alcotest.test_case "basic segments" `Quick test_segment_basic;
+         Alcotest.test_case "false sharing within segment" `Quick
+           test_segment_false_sharing;
+         Alcotest.test_case "full range takes all" `Quick test_segment_full_range;
+         Alcotest.test_case "stress" `Quick test_segment_stress ]);
+      ("interval-skiplist",
+       [ Alcotest.test_case "basics" `Quick test_iskip_basic;
+         QCheck_alcotest.to_alcotest ~long:false prop_iskip_matches_naive ]);
+      ("vee-rw",
+       [ Alcotest.test_case "sequential semantics" `Quick test_vee_sequential;
+         Alcotest.test_case "stress" `Quick test_vee_stress ]);
+      ("slots-mutex",
+       [ Alcotest.test_case "sequential semantics" `Quick test_slots_sequential;
+         Alcotest.test_case "cross-domain conflict" `Quick
+           test_slots_cross_domain_conflict;
+         Alcotest.test_case "stress" `Quick test_slots_stress;
+         Alcotest.test_case "livelock-free under symmetry" `Quick
+           test_slots_livelock_free ]);
+      ("gpfs-tokens",
+       [ Alcotest.test_case "token caching" `Quick test_gpfs_caching;
+         Alcotest.test_case "revocation carves tokens" `Quick test_gpfs_revocation;
+         Alcotest.test_case "exclusion stress" `Quick test_gpfs_exclusion_stress;
+         Alcotest.test_case "revoker waits for critical section" `Quick
+           test_gpfs_revoker_waits_for_cs ]);
+      ("tree-ticket-guard",
+       [ Alcotest.test_case "semantics + stress" `Quick test_tree_ticket_guard ]);
+      ("single-rwsem",
+       [ Alcotest.test_case "stress" `Quick test_single_rwsem_semantics ]);
+      ("adapters",
+       [ Alcotest.test_case "rw-of-mutex" `Quick test_rw_of_mutex_adapter ]) ]

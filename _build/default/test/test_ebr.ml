@@ -1,0 +1,181 @@
+open Rlk_ebr
+
+(* ---- Epoch ---- *)
+
+let test_epoch_parity () =
+  let e = Epoch.create () in
+  Alcotest.(check bool) "outside initially" false (Epoch.inside e);
+  Epoch.enter e;
+  Alcotest.(check bool) "inside after enter" true (Epoch.inside e);
+  Epoch.leave e;
+  Alcotest.(check bool) "outside after leave" false (Epoch.inside e)
+
+let test_epoch_pin () =
+  let e = Epoch.create () in
+  let saw = Epoch.pin e (fun () -> Epoch.inside e) in
+  Alcotest.(check bool) "pinned inside" true saw;
+  Alcotest.(check bool) "unpinned after" false (Epoch.inside e);
+  (try Epoch.pin e (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "unpinned after exception" false (Epoch.inside e)
+
+let test_barrier_trivial_when_idle () =
+  let e = Epoch.create () in
+  (* No domain inside: must return immediately. *)
+  Epoch.barrier e;
+  Alcotest.(check pass) "barrier returned" () ()
+
+let test_barrier_waits_for_traversal () =
+  let e = Epoch.create () in
+  let release = Atomic.make false in
+  let entered = Atomic.make false in
+  let walker =
+    Domain.spawn (fun () ->
+        Epoch.enter e;
+        Atomic.set entered true;
+        while not (Atomic.get release) do Domain.cpu_relax () done;
+        Epoch.leave e)
+  in
+  while not (Atomic.get entered) do Domain.cpu_relax () done;
+  let barrier_done = Atomic.make false in
+  let reclaimer =
+    Domain.spawn (fun () ->
+        Epoch.barrier e;
+        Atomic.set barrier_done true)
+  in
+  (* Give the barrier a moment: it must NOT complete while the walker is
+     pinned. *)
+  Unix.sleepf 0.05;
+  Alcotest.(check bool) "barrier blocked by pinned walker" false
+    (Atomic.get barrier_done);
+  Atomic.set release true;
+  Domain.join walker;
+  Domain.join reclaimer;
+  Alcotest.(check bool) "barrier completed after leave" true
+    (Atomic.get barrier_done)
+
+let test_barrier_new_traversal_is_ok () =
+  (* The barrier waits for the *observed* epoch to change; a thread that
+     left and re-entered does not block it forever. *)
+  let e = Epoch.create () in
+  let stop = Atomic.make false in
+  let churner =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Epoch.enter e;
+          Epoch.leave e
+        done)
+  in
+  for _ = 1 to 100 do Epoch.barrier e done;
+  Atomic.set stop true;
+  Domain.join churner;
+  Alcotest.(check pass) "barriers completed under churn" () ()
+
+(* ---- Pool ---- *)
+
+let test_pool_prefill_and_recycle () =
+  let e = Epoch.create () in
+  let next_id = ref 0 in
+  let alloc () = incr next_id; !next_id in
+  let p = Pool.create ~target:4 ~alloc e in
+  (* Prefill happens lazily on first use; 4 gets consume the prefill. *)
+  let got = List.init 4 (fun _ -> Pool.get p) in
+  Alcotest.(check int) "prefill allocated target nodes" 4 !next_id;
+  List.iter (Pool.retire p) got;
+  (* Active now empty: next get must barrier, swap, and serve retired
+     nodes without fresh allocation (4 retired >= target/2). *)
+  let n = Pool.get p in
+  Alcotest.(check bool) "recycled node served" true (List.mem n got);
+  Alcotest.(check int) "no fresh allocation on swap" 4 !next_id;
+  let s = Pool.stats p in
+  Alcotest.(check int) "one barrier" 1 s.Pool.barriers
+
+let test_pool_replenishes_when_low () =
+  let e = Epoch.create () in
+  let next_id = ref 0 in
+  let alloc () = incr next_id; !next_id in
+  let p = Pool.create ~target:8 ~alloc e in
+  (* Consume all 8, retire only 1 (< target/2): swap must replenish. *)
+  let got = List.init 8 (fun _ -> Pool.get p) in
+  Pool.retire p (List.hd got);
+  ignore (Pool.get p);
+  Alcotest.(check int) "replenished to target" (8 + 7) !next_id
+
+let test_pool_trims_when_oversized () =
+  let e = Epoch.create () in
+  let alloc () = ref 0 in
+  let p = Pool.create ~target:2 ~alloc e in
+  (* Retire many foreign nodes, then force a swap: pool must trim. *)
+  for _ = 1 to 10 do Pool.retire p (alloc ()) done;
+  let a = Pool.get p and b = Pool.get p in
+  ignore a; ignore b;
+  ignore (Pool.get p);
+  let s = Pool.stats p in
+  if s.Pool.trimmed < 1 then
+    Alcotest.failf "expected trimming, stats: trimmed=%d" s.Pool.trimmed
+
+let test_pool_steady_state_no_alloc () =
+  (* Balanced get/retire cycles: after warmup, no fresh allocations. *)
+  let e = Epoch.create () in
+  let count = ref 0 in
+  let alloc () = incr count; () in
+  let p = Pool.create ~target:16 ~alloc e in
+  for _ = 1 to 1000 do
+    let n = Pool.get p in
+    Pool.retire p n
+  done;
+  Alcotest.(check int) "system allocator untouched after prefill" 16 !count
+
+let test_pool_cross_domain_retire () =
+  (* A node allocated by one domain and unlinked by another lands in the
+     unlinker's pool and is recycled there — the paper notes pools balance
+     when removals roughly match insertions per thread. *)
+  let e = Epoch.create () in
+  let p = Pool.create ~target:2 ~alloc:(fun () -> ref 0) e in
+  let node = Pool.get p in
+  node := 42;
+  let d =
+    Domain.spawn (fun () ->
+        Pool.retire p node;
+        (* Drain this domain's active pool, then force the swap. *)
+        let a = Pool.get p and b = Pool.get p in
+        ignore a; ignore b;
+        let recycled = Pool.get p in
+        recycled == node)
+  in
+  Alcotest.(check bool) "other domain recycled the node" true (Domain.join d)
+
+let test_pool_per_domain_isolation () =
+  let e = Epoch.create () in
+  let count = Atomic.make 0 in
+  let alloc () = Atomic.incr count; Atomic.get count in
+  let p = Pool.create ~target:4 ~alloc e in
+  ignore (Pool.get p);
+  let other = Domain.spawn (fun () -> ignore (Pool.get p)) in
+  Domain.join other;
+  (* Each domain prefilled its own pool. *)
+  Alcotest.(check int) "two prefills" 8 (Atomic.get count)
+
+let () =
+  Alcotest.run "ebr"
+    [ ("epoch",
+       [ Alcotest.test_case "enter/leave parity" `Quick test_epoch_parity;
+         Alcotest.test_case "pin is exception-safe" `Quick test_epoch_pin;
+         Alcotest.test_case "barrier trivial when idle" `Quick
+           test_barrier_trivial_when_idle;
+         Alcotest.test_case "barrier waits for pinned walker" `Quick
+           test_barrier_waits_for_traversal;
+         Alcotest.test_case "barrier survives churn" `Quick
+           test_barrier_new_traversal_is_ok ]);
+      ("pool",
+       [ Alcotest.test_case "prefill and recycle" `Quick
+           test_pool_prefill_and_recycle;
+         Alcotest.test_case "replenishes when low" `Quick
+           test_pool_replenishes_when_low;
+         Alcotest.test_case "trims when oversized" `Quick
+           test_pool_trims_when_oversized;
+         Alcotest.test_case "steady state avoids allocator" `Quick
+           test_pool_steady_state_no_alloc;
+         Alcotest.test_case "cross-domain retire recycles" `Quick
+           test_pool_cross_domain_retire;
+         Alcotest.test_case "per-domain pools" `Quick
+           test_pool_per_domain_isolation ]) ]

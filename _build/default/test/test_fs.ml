@@ -1,0 +1,157 @@
+module F = Rlk_fs.Shared_file.Make (Rlk.Intf.List_rw_impl)
+
+(* ---------------- sequential semantics ---------------- *)
+
+let test_create_and_bounds () =
+  let f = F.create ~size:1024 in
+  Alcotest.(check int) "capacity" 1024 (F.capacity f);
+  Alcotest.(check int) "eof at 0" 0 (F.eof f);
+  (try
+     ignore (F.pread f ~off:1000 ~len:100);
+     Alcotest.fail "read past capacity accepted"
+   with Invalid_argument _ -> ());
+  (try
+     F.pwrite f ~off:(-1) (Bytes.make 4 'x');
+     Alcotest.fail "negative offset accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (F.create ~size:0);
+     Alcotest.fail "empty file accepted"
+   with Invalid_argument _ -> ())
+
+let test_pwrite_pread_roundtrip () =
+  let f = F.create ~size:4096 in
+  F.pwrite f ~off:100 (Bytes.of_string "hello world");
+  Alcotest.(check int) "eof advanced" 111 (F.eof f);
+  Alcotest.(check string) "roundtrip" "hello world"
+    (Bytes.to_string (F.pread f ~off:100 ~len:11));
+  Alcotest.(check string) "zeros before" "\000\000"
+    (Bytes.to_string (F.pread f ~off:98 ~len:2));
+  (* Short read at EOF. *)
+  Alcotest.(check int) "short read" 11 (Bytes.length (F.pread f ~off:100 ~len:50));
+  Alcotest.(check int) "read past eof empty" 0 (Bytes.length (F.pread f ~off:500 ~len:10))
+
+let test_append () =
+  let f = F.create ~size:100 in
+  let o1 = F.append f (Bytes.of_string "aaaa") in
+  let o2 = F.append f (Bytes.of_string "bbbb") in
+  Alcotest.(check int) "first at 0" 0 o1;
+  Alcotest.(check int) "second follows" 4 o2;
+  Alcotest.(check string) "contents" "aaaabbbb"
+    (Bytes.to_string (F.pread f ~off:0 ~len:8));
+  (try
+     ignore (F.append f (Bytes.make 200 'x'));
+     Alcotest.fail "overflow accepted"
+   with Invalid_argument _ -> ());
+  (* The failed reservation must have been rolled back. *)
+  let o3 = F.append f (Bytes.of_string "cc") in
+  Alcotest.(check int) "small append still fits" 8 o3
+
+let test_records () =
+  let f = F.create ~size:(4 * F.record_size) in
+  F.write_record f ~index:2 ~tag:42;
+  (match F.read_record f ~index:2 with
+   | Ok tag -> Alcotest.(check int) "tag" 42 tag
+   | Error `Torn -> Alcotest.fail "fresh record torn");
+  (* An unwritten record is all zeros: trivially consistent with tag 0. *)
+  (match F.read_record f ~index:0 with
+   | Ok 0 -> ()
+   | _ -> Alcotest.fail "zero record should verify as tag 0")
+
+(* ---------------- concurrency ---------------- *)
+
+let test_concurrent_writers_no_tearing () =
+  let records = 128 in
+  let f = F.create ~size:(records * F.record_size) in
+  for i = 0 to records - 1 do
+    F.write_record f ~index:i ~tag:1
+  done;
+  let torn = Atomic.make 0 in
+  let ds =
+    Stress_helpers.spawn_n 4 (fun id ->
+        let rng = Rlk_primitives.Prng.create ~seed:(id + 77) in
+        for n = 1 to 5_000 do
+          let i = Rlk_primitives.Prng.below rng records in
+          if Rlk_primitives.Prng.bool rng ~p:0.5 then
+            F.write_record f ~index:i ~tag:(1 + ((id * 7919 + n) land 0x7f))
+          else
+            match F.read_record f ~index:i with
+            | Ok _ -> ()
+            | Error `Torn -> Atomic.incr torn
+        done)
+  in
+  Stress_helpers.join_all ds;
+  Alcotest.(check int) "no torn records" 0 (Atomic.get torn)
+
+let test_concurrent_appends_disjoint () =
+  let f = F.create ~size:(64 * 1024) in
+  let per_domain = 500 and chunk = 16 in
+  let ds =
+    Stress_helpers.spawn_n 4 (fun id ->
+        let payload = Bytes.make chunk (Char.chr (Char.code 'a' + id)) in
+        let offs = Array.make per_domain 0 in
+        for i = 0 to per_domain - 1 do
+          offs.(i) <- F.append f payload
+        done;
+        offs)
+  in
+  let all = Array.to_list ds |> List.map Domain.join in
+  (* Every append got a distinct, non-overlapping region. *)
+  let offsets = List.concat_map Array.to_list all in
+  let sorted = List.sort compare offsets in
+  let rec disjoint = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "appends disjoint" true (a + chunk <= b);
+      disjoint rest
+    | _ -> ()
+  in
+  disjoint sorted;
+  Alcotest.(check int) "eof accounts for all" (4 * per_domain * chunk) (F.eof f);
+  (* Every appended chunk is uniform (no interleaving inside a chunk). *)
+  List.iteri
+    (fun _ off ->
+       let b = F.pread f ~off ~len:chunk in
+       let c = Bytes.get b 0 in
+       Bytes.iter (fun x -> if x <> c then Alcotest.fail "chunk interleaved") b)
+    sorted
+
+(* ---------------- the workload harness itself ---------------- *)
+
+let test_fileio_harness_clean () =
+  match
+    Rlk_workloads.Fileio.run
+      ~lock:(module Rlk.Intf.List_rw_impl)
+      ~threads:4 ~read_pct:70 ~file_records:256 ~duration_s:0.1 ()
+  with
+  | Ok r -> Alcotest.(check bool) "ops done" true (r.Rlk_workloads.Runner.total_ops > 0)
+  | Error msg -> Alcotest.fail msg
+
+let test_fileio_all_locks_clean () =
+  List.iter
+    (fun (name, lock) ->
+       match
+         Rlk_workloads.Fileio.run ~lock ~threads:4 ~read_pct:50 ~file_records:128
+           ~duration_s:0.05 ()
+       with
+       | Ok _ -> ()
+       | Error msg -> Alcotest.failf "%s: %s" name msg)
+    Rlk_workloads.Locks.arrbench_locks
+
+let () =
+  Alcotest.run "fs"
+    [ ("sequential",
+       [ Alcotest.test_case "bounds" `Quick test_create_and_bounds;
+         Alcotest.test_case "pwrite/pread roundtrip" `Quick
+           test_pwrite_pread_roundtrip;
+         Alcotest.test_case "append" `Quick test_append;
+         Alcotest.test_case "records" `Quick test_records ]);
+      ("concurrent",
+       [ Alcotest.test_case "writers never tear records" `Quick
+           test_concurrent_writers_no_tearing;
+         Alcotest.test_case "appends get disjoint regions" `Quick
+           test_concurrent_appends_disjoint ]);
+      ("harness",
+       [ Alcotest.test_case "fileio clean on list-rw" `Quick
+           test_fileio_harness_clean;
+         Alcotest.test_case "fileio clean on every lock" `Quick
+           test_fileio_all_locks_clean ]) ]

@@ -1,0 +1,332 @@
+module T = Rlk_rbtree.Rbtree.Make (Int)
+module It = Rlk_rbtree.Interval_tree
+
+let check_ok t =
+  match T.check_invariants t with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "invariant violated: %s" msg
+
+(* ---- unit tests ---- *)
+
+let test_empty () =
+  let t = T.create () in
+  Alcotest.(check bool) "empty" true (T.is_empty t);
+  Alcotest.(check int) "size" 0 (T.size t);
+  Alcotest.(check bool) "find misses" true (T.find t 3 = None);
+  Alcotest.(check bool) "min none" true (T.min_node t = None);
+  Alcotest.(check bool) "remove misses" false (T.remove t 3);
+  check_ok t
+
+let test_insert_find () =
+  let t = T.create () in
+  List.iter (fun k -> ignore (T.insert t k (k * 10))) [ 5; 2; 8; 1; 9; 3 ];
+  check_ok t;
+  Alcotest.(check int) "size" 6 (T.size t);
+  (match T.find t 8 with
+   | Some n ->
+     Alcotest.(check int) "key" 8 (T.key n);
+     Alcotest.(check int) "value" 80 (T.value n)
+   | None -> Alcotest.fail "find missed");
+  Alcotest.(check bool) "miss" true (T.find t 7 = None)
+
+let test_inorder () =
+  let t = T.create () in
+  List.iter (fun k -> ignore (T.insert t k ())) [ 5; 2; 8; 1; 9; 3; 7; 6; 4 ];
+  let keys = List.map fst (T.to_list t) in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ] keys
+
+let test_duplicates () =
+  let t = T.create () in
+  ignore (T.insert t 5 "a");
+  ignore (T.insert t 5 "b");
+  ignore (T.insert t 5 "c");
+  check_ok t;
+  Alcotest.(check int) "all kept" 3 (T.size t);
+  Alcotest.(check bool) "remove one" true (T.remove t 5);
+  Alcotest.(check int) "two left" 2 (T.size t);
+  check_ok t
+
+let test_min_max_next_prev () =
+  let t = T.create () in
+  List.iter (fun k -> ignore (T.insert t k ())) [ 4; 1; 7; 3 ];
+  let mn = Option.get (T.min_node t) and mx = Option.get (T.max_node t) in
+  Alcotest.(check int) "min" 1 (T.key mn);
+  Alcotest.(check int) "max" 7 (T.key mx);
+  (* Walk forward via next. *)
+  let rec walk n acc =
+    match n with
+    | None -> List.rev acc
+    | Some x -> walk (T.next x) (T.key x :: acc)
+  in
+  Alcotest.(check (list int)) "next chain" [ 1; 3; 4; 7 ] (walk (Some mn) []);
+  let rec walk_back n acc =
+    match n with
+    | None -> List.rev acc
+    | Some x -> walk_back (T.prev x) (T.key x :: acc)
+  in
+  Alcotest.(check (list int)) "prev chain" [ 7; 4; 3; 1 ] (walk_back (Some mx) [])
+
+let test_lower_bound_first_satisfying () =
+  let t = T.create () in
+  List.iter (fun k -> ignore (T.insert t k ())) [ 10; 20; 30 ];
+  let lb k = Option.map T.key (T.lower_bound t k) in
+  Alcotest.(check (option int)) "lb 5" (Some 10) (lb 5);
+  Alcotest.(check (option int)) "lb 10" (Some 10) (lb 10);
+  Alcotest.(check (option int)) "lb 11" (Some 20) (lb 11);
+  Alcotest.(check (option int)) "lb 30" (Some 30) (lb 30);
+  Alcotest.(check (option int)) "lb 31" None (lb 31);
+  (* find_vma shape: first node with key > addr *)
+  let fv addr = Option.map T.key (T.first_satisfying t (fun n -> T.key n > addr)) in
+  Alcotest.(check (option int)) "fv 10" (Some 20) (fv 10);
+  Alcotest.(check (option int)) "fv 9" (Some 10) (fv 9)
+
+let test_remove_node_handle () =
+  let t = T.create () in
+  let n5 = T.insert t 5 () in
+  ignore (T.insert t 2 ());
+  ignore (T.insert t 8 ());
+  T.remove_node t n5;
+  check_ok t;
+  Alcotest.(check bool) "5 gone" true (T.find t 5 = None);
+  Alcotest.(check int) "size" 2 (T.size t)
+
+let test_remove_all_orders () =
+  (* Delete in several orders from the same content; invariants must hold
+     after every step. *)
+  let orders =
+    [ [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ];
+      [ 10; 9; 8; 7; 6; 5; 4; 3; 2; 1 ];
+      [ 5; 1; 10; 2; 9; 3; 8; 4; 7; 6 ] ]
+  in
+  List.iter
+    (fun order ->
+       let t = T.create () in
+       List.iter (fun k -> ignore (T.insert t k ())) [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ];
+       List.iter
+         (fun k ->
+            Alcotest.(check bool) "removed" true (T.remove t k);
+            check_ok t)
+         order;
+       Alcotest.(check bool) "empty at end" true (T.is_empty t))
+    orders
+
+let test_value_update () =
+  let t = T.create () in
+  let n = T.insert t 1 "old" in
+  T.set_value n "new";
+  Alcotest.(check string) "updated" "new" (T.value (Option.get (T.find t 1)))
+
+let test_reset_key () =
+  let t = T.create () in
+  ignore (T.insert t 10 "a");
+  let n = T.insert t 20 "b" in
+  ignore (T.insert t 30 "c");
+  check_ok t;
+  (* Order-preserving moves are fine. *)
+  T.reset_key t n 15;
+  check_ok t;
+  Alcotest.(check bool) "findable at new key" true (T.find t 15 <> None);
+  Alcotest.(check bool) "old key gone" true (T.find t 20 = None);
+  T.reset_key t n 29;
+  check_ok t;
+  (* Moves that cross a neighbour are rejected. *)
+  (try
+     T.reset_key t n 5;
+     Alcotest.fail "below predecessor accepted"
+   with Invalid_argument _ -> ());
+  (try
+     T.reset_key t n 31;
+     Alcotest.fail "above successor accepted"
+   with Invalid_argument _ -> ());
+  Alcotest.(check bool) "still at 29 after rejections" true (T.find t 29 <> None)
+
+let test_reset_key_keeps_augment () =
+  (* The update hook must rerun on a key move (the interval tree relies on
+     it when a VMA boundary shifts). *)
+  let sum = ref 0 in
+  ignore sum;
+  let t =
+    T.create
+      ~update:(fun n ->
+        (* store the subtree key-sum in the node's value *)
+        let v = function None -> 0 | Some m -> T.value m in
+        T.set_value n (T.key n + v (T.left n) + v (T.right n)))
+      ()
+  in
+  ignore (T.insert t 10 0);
+  let n = T.insert t 20 0 in
+  ignore (T.insert t 30 0);
+  let root_sum () =
+    match T.root t with Some r -> T.value r | None -> 0
+  in
+  Alcotest.(check int) "sum before" 60 (root_sum ());
+  T.reset_key t n 25;
+  Alcotest.(check int) "sum after move" 65 (root_sum ())
+
+(* ---- property tests: random ops vs a multiset oracle ---- *)
+
+type op = Insert of int | Remove of int
+
+let apply_oracle oracle = function
+  | Insert k -> List.merge compare [ k ] oracle
+  | Remove k ->
+    let rec drop = function
+      | [] -> []
+      | x :: rest -> if x = k then rest else x :: drop rest
+    in
+    drop oracle
+
+let op_gen =
+  QCheck.Gen.(
+    map
+      (fun (b, k) -> if b then Insert k else Remove k)
+      (pair bool (int_bound 50)))
+
+let ops_arbitrary =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function Insert k -> Printf.sprintf "I%d" k | Remove k -> Printf.sprintf "R%d" k)
+           ops))
+    QCheck.Gen.(list_size (int_range 0 200) op_gen)
+
+let prop_matches_oracle =
+  QCheck.Test.make ~name:"rbtree random ops match multiset oracle" ~count:300
+    ops_arbitrary (fun ops ->
+      let t = T.create () in
+      let oracle = ref [] in
+      List.iter
+        (fun op ->
+           (match op with
+            | Insert k -> ignore (T.insert t k ())
+            | Remove k -> ignore (T.remove t k));
+           oracle := apply_oracle !oracle op;
+           (match T.check_invariants t with
+            | Ok () -> ()
+            | Error msg -> QCheck.Test.fail_reportf "invariant: %s" msg))
+        ops;
+      List.map fst (T.to_list t) = !oracle)
+
+let prop_lower_bound_agrees =
+  QCheck.Test.make ~name:"lower_bound agrees with oracle" ~count:200
+    QCheck.(pair (list (int_bound 100)) (int_bound 100))
+    (fun (keys, probe) ->
+      let t = T.create () in
+      List.iter (fun k -> ignore (T.insert t k ())) keys;
+      let expect = List.sort compare keys |> List.find_opt (fun k -> k >= probe) in
+      Option.map T.key (T.lower_bound t probe) = expect)
+
+(* ---- interval tree ---- *)
+
+let icheck_ok t =
+  match It.check_invariants t with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "interval invariant: %s" msg
+
+let test_itree_basic () =
+  let t = It.create () in
+  Alcotest.(check bool) "empty" true (It.is_empty t);
+  let a = It.insert t ~lo:0 ~hi:10 "a" in
+  let _b = It.insert t ~lo:20 ~hi:30 "b" in
+  let _c = It.insert t ~lo:5 ~hi:25 "c" in
+  icheck_ok t;
+  Alcotest.(check int) "size" 3 (It.size t);
+  let hits lo hi =
+    let acc = ref [] in
+    It.iter_overlaps t ~lo ~hi (fun n -> acc := It.data n :: !acc);
+    List.sort compare !acc
+  in
+  Alcotest.(check (list string)) "stab 7" [ "a"; "c" ] (hits 7 8);
+  Alcotest.(check (list string)) "stab 22" [ "b"; "c" ] (hits 22 23);
+  Alcotest.(check (list string)) "gap" [] (hits 30 40);
+  Alcotest.(check (list string)) "boundary half-open" [] (hits 10 11 |> List.filter (( = ) "a"));
+  It.remove t a;
+  icheck_ok t;
+  Alcotest.(check (list string)) "a removed" [ "c" ] (hits 7 8)
+
+let test_itree_duplicates () =
+  let t = It.create () in
+  let a = It.insert t ~lo:1 ~hi:5 1 in
+  let b = It.insert t ~lo:1 ~hi:5 2 in
+  Alcotest.(check int) "both kept" 2 (It.size t);
+  Alcotest.(check int) "both found" 2 (It.count_overlaps t ~lo:2 ~hi:3 (fun _ -> true));
+  It.remove t a;
+  Alcotest.(check int) "one left" 1 (It.count_overlaps t ~lo:2 ~hi:3 (fun _ -> true));
+  It.remove t b;
+  Alcotest.(check bool) "empty" true (It.is_empty t)
+
+let test_itree_rejects_empty () =
+  let t = It.create () in
+  Alcotest.check_raises "lo=hi rejected"
+    (Invalid_argument "Interval_tree.insert: need lo < hi")
+    (fun () -> ignore (It.insert t ~lo:3 ~hi:3 ()))
+
+let prop_itree_matches_naive =
+  (* Random insert/remove of intervals, queries checked against a naive
+     list filter. *)
+  let iv_gen = QCheck.Gen.(map2 (fun lo len -> (lo, lo + 1 + len)) (int_bound 100) (int_bound 30)) in
+  let script_gen = QCheck.Gen.(list_size (int_range 1 100) (pair bool iv_gen)) in
+  QCheck.make script_gen
+    ~print:(fun script ->
+      String.concat ";"
+        (List.map
+           (fun (add, (lo, hi)) -> Printf.sprintf "%c[%d,%d)" (if add then '+' else '-') lo hi)
+           script))
+  |> fun arb ->
+  QCheck.Test.make ~name:"interval tree matches naive filter" ~count:200 arb
+    (fun script ->
+      let t = It.create () in
+      (* live: (node, (lo, hi)) list in insertion order *)
+      let live = ref [] in
+      List.iter
+        (fun (add, (lo, hi)) ->
+           if add then begin
+             let n = It.insert t ~lo ~hi () in
+             live := (n, (lo, hi)) :: !live
+           end
+           else
+             match !live with
+             | [] -> ()
+             | (n, _) :: rest ->
+               It.remove t n;
+               live := rest)
+        script;
+      (match It.check_invariants t with
+       | Ok () -> ()
+       | Error m -> QCheck.Test.fail_reportf "invariant: %s" m);
+      (* Probe a grid of query windows. *)
+      List.for_all
+        (fun (qlo, qhi) ->
+           let got = It.count_overlaps t ~lo:qlo ~hi:qhi (fun _ -> true) in
+           let expect =
+             List.length
+               (List.filter (fun (_, (lo, hi)) -> lo < qhi && qlo < hi) !live)
+           in
+           got = expect)
+        [ (0, 1); (0, 200); (50, 60); (99, 140); (10, 11); (130, 131) ])
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "rbtree"
+    [ ("unit",
+       [ Alcotest.test_case "empty tree" `Quick test_empty;
+         Alcotest.test_case "insert and find" `Quick test_insert_find;
+         Alcotest.test_case "in-order sorted" `Quick test_inorder;
+         Alcotest.test_case "duplicate keys" `Quick test_duplicates;
+         Alcotest.test_case "min/max/next/prev" `Quick test_min_max_next_prev;
+         Alcotest.test_case "lower_bound / first_satisfying" `Quick
+           test_lower_bound_first_satisfying;
+         Alcotest.test_case "remove by handle" `Quick test_remove_node_handle;
+         Alcotest.test_case "remove in many orders" `Quick test_remove_all_orders;
+         Alcotest.test_case "set_value" `Quick test_value_update;
+         Alcotest.test_case "reset_key (vma_adjust)" `Quick test_reset_key;
+         Alcotest.test_case "reset_key reruns augmentation" `Quick
+           test_reset_key_keeps_augment ]);
+      qsuite "property" [ prop_matches_oracle; prop_lower_bound_agrees ];
+      ("interval-unit",
+       [ Alcotest.test_case "basic stabbing" `Quick test_itree_basic;
+         Alcotest.test_case "duplicates" `Quick test_itree_duplicates;
+         Alcotest.test_case "rejects empty interval" `Quick test_itree_rejects_empty ]);
+      qsuite "interval-property" [ prop_itree_matches_naive ] ]

@@ -1,0 +1,210 @@
+open Rlk_skiplist
+
+let impls : Skiplist_intf.set_impl list =
+  [ (module Optimistic); (module Range_skiplist.Over_list);
+    (module Range_skiplist.Over_lustre) ]
+
+let for_each_impl f =
+  List.concat_map
+    (fun ((module S : Skiplist_intf.SET) as impl) ->
+       List.map (fun (n, speed, t) -> (S.name ^ ": " ^ n, speed, t)) (f impl))
+    impls
+
+(* ---------------- sequential semantics ---------------- *)
+
+let seq_tests (module S : Skiplist_intf.SET) =
+  [ ("add/contains/remove", `Quick, fun () ->
+      let s = S.create () in
+      Alcotest.(check bool) "empty contains" false (S.contains s 5);
+      Alcotest.(check bool) "add new" true (S.add s 5);
+      Alcotest.(check bool) "contains" true (S.contains s 5);
+      Alcotest.(check bool) "add dup" false (S.add s 5);
+      Alcotest.(check bool) "remove" true (S.remove s 5);
+      Alcotest.(check bool) "gone" false (S.contains s 5);
+      Alcotest.(check bool) "remove absent" false (S.remove s 5));
+    ("ordering and size", `Quick, fun () ->
+      let s = S.create () in
+      List.iter (fun k -> ignore (S.add s k)) [ 42; 7; 99; 1; 64; 7 ];
+      Alcotest.(check (list int)) "sorted unique" [ 1; 7; 42; 64; 99 ] (S.to_list s);
+      Alcotest.(check int) "size" 5 (S.size s);
+      (match S.check_invariants s with
+       | Ok () -> ()
+       | Error m -> Alcotest.failf "invariant: %s" m));
+    ("zero key ok", `Quick, fun () ->
+      let s = S.create () in
+      Alcotest.(check bool) "add 0" true (S.add s 0);
+      Alcotest.(check bool) "contains 0" true (S.contains s 0);
+      Alcotest.(check bool) "remove 0" true (S.remove s 0));
+    ("negative rejected", `Quick, fun () ->
+      let s = S.create () in
+      (try
+         ignore (S.add s (-1));
+         Alcotest.fail "negative key accepted"
+       with Invalid_argument _ -> ()));
+    ("many keys", `Quick, fun () ->
+      let s = S.create () in
+      for k = 0 to 999 do
+        ignore (S.add s k)
+      done;
+      Alcotest.(check int) "all inserted" 1000 (S.size s);
+      for k = 0 to 999 do
+        if k mod 2 = 0 then ignore (S.remove s k)
+      done;
+      Alcotest.(check int) "half removed" 500 (S.size s);
+      Alcotest.(check bool) "odd stays" true (S.contains s 501);
+      Alcotest.(check bool) "even gone" false (S.contains s 500);
+      match S.check_invariants s with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "invariant: %s" m) ]
+
+(* ---------------- oracle property ---------------- *)
+
+let oracle_prop (module S : Skiplist_intf.SET) =
+  QCheck.Test.make
+    ~name:(S.name ^ " matches Set oracle")
+    ~count:150
+    QCheck.(list (pair bool (int_bound 60)))
+    (fun ops ->
+      let s = S.create () in
+      let module IS = Set.Make (Int) in
+      let oracle = ref IS.empty in
+      List.for_all
+        (fun (add, k) ->
+           if add then begin
+             let expect = not (IS.mem k !oracle) in
+             oracle := IS.add k !oracle;
+             S.add s k = expect
+           end
+           else begin
+             let expect = IS.mem k !oracle in
+             oracle := IS.remove k !oracle;
+             S.remove s k = expect
+           end)
+        ops
+      && S.to_list s = IS.elements !oracle
+      && S.check_invariants s = Ok ())
+
+(* ---------------- concurrent linearizability ---------------- *)
+
+(* Shared-keyspace stress with an order-insensitive oracle: every
+   successful remove of k pairs with an earlier successful add of k, so at
+   the end (net successful adds - removes per key) must be exactly the
+   final membership (0 or 1). Catches duplicate inserts, lost removes and
+   corrupted towers without assuming anything about the relative order in
+   which *our* bookkeeping runs. *)
+let stress_shared (module S : Skiplist_intf.SET) ~domains ~iters ~keyspace () =
+  let s = S.create () in
+  let net = Array.init keyspace (fun _ -> Atomic.make 0) in
+  let barrier = Stress_helpers.make_barrier domains in
+  let ds =
+    Stress_helpers.spawn_n domains (fun id ->
+        let rng = Rlk_primitives.Prng.create ~seed:(id * 7 + 1234) in
+        barrier ();
+        for _ = 1 to iters do
+          let k = Rlk_primitives.Prng.below rng keyspace in
+          match Rlk_primitives.Prng.below rng 3 with
+          | 0 -> if S.add s k then ignore (Atomic.fetch_and_add net.(k) 1)
+          | 1 -> if S.remove s k then ignore (Atomic.fetch_and_add net.(k) (-1))
+          | _ -> ignore (S.contains s k)
+        done)
+  in
+  Stress_helpers.join_all ds;
+  let expected =
+    List.filter
+      (fun k ->
+         match Atomic.get net.(k) with
+         | 0 -> false
+         | 1 -> true
+         | n -> Alcotest.failf "net count for key %d is %d" k n)
+      (List.init keyspace (fun i -> i))
+  in
+  Alcotest.(check (list int)) "final contents" expected (S.to_list s);
+  match S.check_invariants s with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invariant after stress: %s" m
+
+(* Disjoint-keyspace stress: each domain owns its keys, so the 0->1->0
+   transition discipline is sequential per key and can be checked
+   strictly — while the *structure* (towers, shared predecessors) is still
+   contended across domains. *)
+let stress_disjoint (module S : Skiplist_intf.SET) ~domains ~iters ~keys_per_domain
+    () =
+  let s = S.create () in
+  let violated = Atomic.make false in
+  let barrier = Stress_helpers.make_barrier domains in
+  let ds =
+    Stress_helpers.spawn_n domains (fun id ->
+        let rng = Rlk_primitives.Prng.create ~seed:(id * 11 + 99) in
+        (* Interleave domains' keys so neighbouring list nodes belong to
+           different domains (maximal structural contention). *)
+        let key i = (i * domains) + id in
+        let present = Array.make keys_per_domain false in
+        barrier ();
+        for _ = 1 to iters do
+          let i = Rlk_primitives.Prng.below rng keys_per_domain in
+          if Rlk_primitives.Prng.bool rng ~p:0.5 then begin
+            if S.add s (key i) <> not present.(i) then Atomic.set violated true;
+            present.(i) <- true
+          end
+          else begin
+            if S.remove s (key i) <> present.(i) then Atomic.set violated true;
+            present.(i) <- false
+          end
+        done)
+  in
+  Stress_helpers.join_all ds;
+  Alcotest.(check bool) "per-key transitions exact" false (Atomic.get violated);
+  match S.check_invariants s with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invariant after stress: %s" m
+
+let stress_tests impl =
+  [ ("stress shared hot keyspace", `Quick,
+     fun () -> stress_shared impl ~domains:4 ~iters:3_000 ~keyspace:32 ());
+    ("stress shared large keyspace", `Quick,
+     fun () -> stress_shared impl ~domains:4 ~iters:3_000 ~keyspace:4_096 ());
+    ("stress disjoint keys, strict transitions", `Quick,
+     fun () -> stress_disjoint impl ~domains:4 ~iters:3_000 ~keys_per_domain:64 ()) ]
+
+(* Mimic the paper's Figure 4 workload shape briefly: prefill then 80/20. *)
+let synchrobench_shape (module S : Skiplist_intf.SET) () =
+  let s = S.create () in
+  let keyspace = 8_192 in
+  let rng = Rlk_primitives.Prng.create ~seed:99 in
+  let target = keyspace / 2 in
+  let filled = ref 0 in
+  while !filled < target do
+    if S.add s (Rlk_primitives.Prng.below rng keyspace) then incr filled
+  done;
+  let ds =
+    Stress_helpers.spawn_n 4 (fun id ->
+        let rng = Rlk_primitives.Prng.create ~seed:(id + 5) in
+        for _ = 1 to 5_000 do
+          let k = Rlk_primitives.Prng.below rng keyspace in
+          let pct = Rlk_primitives.Prng.below rng 100 in
+          if pct < 80 then ignore (S.contains s k)
+          else if pct < 90 then ignore (S.add s k)
+          else ignore (S.remove s k)
+        done)
+  in
+  Stress_helpers.join_all ds;
+  match S.check_invariants s with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invariant: %s" m
+
+let () =
+  let qtests =
+    List.map (fun impl -> QCheck_alcotest.to_alcotest ~long:false (oracle_prop impl)) impls
+  in
+  Alcotest.run "skiplist"
+    [ ("sequential",
+       List.map (fun (n, s, f) -> Alcotest.test_case n s f) (for_each_impl seq_tests));
+      ("oracle", qtests);
+      ("stress",
+       List.map (fun (n, s, f) -> Alcotest.test_case n s f)
+         (for_each_impl stress_tests));
+      ("synchrobench-shape",
+       List.map
+         (fun ((module S : Skiplist_intf.SET) as impl) ->
+            Alcotest.test_case S.name `Quick (synchrobench_shape impl))
+         impls) ]

@@ -1,0 +1,258 @@
+module H = Rlk_structures.Range_hashtable.Make (Rlk.Intf.List_rw_impl)
+
+let check_ok t =
+  match H.check_invariants t with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invariant: %s" m
+
+(* ---------------- sequential ---------------- *)
+
+let test_basic () =
+  let t = H.create () in
+  Alcotest.(check int) "empty" 0 (H.length t);
+  Alcotest.(check bool) "miss" true (H.find t "a" = None);
+  H.add t "a" 1;
+  H.add t "b" 2;
+  Alcotest.(check (option int)) "find a" (Some 1) (H.find t "a");
+  Alcotest.(check (option int)) "find b" (Some 2) (H.find t "b");
+  Alcotest.(check int) "length" 2 (H.length t);
+  H.add t "a" 10;
+  Alcotest.(check (option int)) "upsert" (Some 10) (H.find t "a");
+  Alcotest.(check int) "length unchanged by upsert" 2 (H.length t);
+  Alcotest.(check bool) "remove hit" true (H.remove t "a");
+  Alcotest.(check bool) "remove miss" false (H.remove t "a");
+  Alcotest.(check int) "length after remove" 1 (H.length t);
+  check_ok t
+
+let test_resize_preserves_contents () =
+  let t = H.create ~initial_buckets:4 () in
+  for i = 0 to 499 do
+    H.add t i (i * 3)
+  done;
+  Alcotest.(check int) "all kept" 500 (H.length t);
+  Alcotest.(check bool) "resized several times" true (H.resizes t >= 4);
+  Alcotest.(check bool) "buckets grew" true (H.buckets t > 4);
+  for i = 0 to 499 do
+    if H.find t i <> Some (i * 3) then Alcotest.failf "lost key %d" i
+  done;
+  check_ok t
+
+let test_rejects_silly_sizes () =
+  Alcotest.check_raises "zero buckets"
+    (Invalid_argument "Range_hashtable.create: unreasonable bucket count")
+    (fun () -> ignore (H.create ~initial_buckets:0 ()))
+
+let prop_matches_hashtbl =
+  QCheck.Test.make ~name:"matches Hashtbl oracle" ~count:200
+    QCheck.(list (pair (int_bound 2) (int_bound 50)))
+    (fun ops ->
+      let t = H.create ~initial_buckets:2 () in
+      let oracle = Hashtbl.create 16 in
+      List.for_all
+        (fun (op, k) ->
+           match op with
+           | 0 ->
+             H.add t k k;
+             Hashtbl.replace oracle k k;
+             true
+           | 1 ->
+             let expect = Hashtbl.mem oracle k in
+             Hashtbl.remove oracle k;
+             H.remove t k = expect
+           | _ -> H.find t k = Hashtbl.find_opt oracle k)
+        ops
+      && H.length t = Hashtbl.length oracle
+      && H.check_invariants t = Ok ()
+      && List.sort compare (H.to_list t)
+         = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) oracle []))
+
+(* ---------------- concurrent ---------------- *)
+
+let test_concurrent_disjoint_keys () =
+  (* Per-domain key ownership: strict transition checking, while resizes
+     migrate everyone's buckets underneath. *)
+  let t = H.create ~initial_buckets:2 () in
+  let violated = Atomic.make false in
+  let domains = 4 and keys_per_domain = 64 and iters = 3_000 in
+  let ds =
+    Stress_helpers.spawn_n domains (fun id ->
+        let rng = Rlk_primitives.Prng.create ~seed:(id * 3 + 1) in
+        let present = Array.make keys_per_domain false in
+        let key i = (i * domains) + id in
+        for _ = 1 to iters do
+          let i = Rlk_primitives.Prng.below rng keys_per_domain in
+          match Rlk_primitives.Prng.below rng 3 with
+          | 0 ->
+            H.add t (key i) id;
+            present.(i) <- true
+          | 1 ->
+            if H.remove t (key i) <> present.(i) then Atomic.set violated true;
+            present.(i) <- false
+          | _ ->
+            if H.mem t (key i) <> present.(i) then Atomic.set violated true
+        done)
+  in
+  Stress_helpers.join_all ds;
+  Alcotest.(check bool) "transitions exact under resizing" false
+    (Atomic.get violated);
+  Alcotest.(check bool) "resizes happened during the stress" true (H.resizes t >= 1);
+  check_ok t
+
+let test_concurrent_shared_counters () =
+  (* Shared keys, net-count oracle (order-insensitive). *)
+  let t = H.create ~initial_buckets:4 () in
+  let keyspace = 128 in
+  let net = Array.init keyspace (fun _ -> Atomic.make 0) in
+  let ds =
+    Stress_helpers.spawn_n 4 (fun id ->
+        let rng = Rlk_primitives.Prng.create ~seed:(id * 31 + 5) in
+        for _ = 1 to 3_000 do
+          let k = Rlk_primitives.Prng.below rng keyspace in
+          if Rlk_primitives.Prng.bool rng ~p:0.6 then begin
+            match H.put t k id with
+            | `Added -> ignore (Atomic.fetch_and_add net.(k) 1)
+            | `Replaced -> ()
+          end
+          else if H.remove t k then ignore (Atomic.fetch_and_add net.(k) (-1))
+        done)
+  in
+  Stress_helpers.join_all ds;
+  (* With upsert semantics, net > 0 iff the key is present. *)
+  for k = 0 to keyspace - 1 do
+    let n = Atomic.get net.(k) in
+    if n < 0 then Alcotest.failf "net negative for key %d" k;
+    if (n > 0) <> H.mem t k then Alcotest.failf "membership wrong for key %d" k
+  done;
+  check_ok t
+
+(* ==================== Range_bst ==================== *)
+
+module B = Rlk_structures.Range_bst.Make (Rlk.Intf.List_rw_impl)
+
+let bst_ok t =
+  match B.check_invariants t with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "bst invariant: %s" m
+
+let test_bst_basic () =
+  let t = B.create () in
+  Alcotest.(check bool) "empty" false (B.contains t 5);
+  Alcotest.(check bool) "add" true (B.add t 5);
+  Alcotest.(check bool) "dup" false (B.add t 5);
+  Alcotest.(check bool) "present" true (B.contains t 5);
+  Alcotest.(check bool) "remove" true (B.remove t 5);
+  Alcotest.(check bool) "tombstoned" false (B.contains t 5);
+  Alcotest.(check bool) "remove again" false (B.remove t 5);
+  Alcotest.(check int) "one tombstone" 1 (B.tombstones t);
+  (* Revival. *)
+  Alcotest.(check bool) "revive" true (B.add t 5);
+  Alcotest.(check bool) "alive again" true (B.contains t 5);
+  Alcotest.(check int) "no tombstones" 0 (B.tombstones t);
+  bst_ok t
+
+let test_bst_compact () =
+  let t = B.create () in
+  (* Worst-case insertion order: a path. *)
+  for i = 0 to 200 do
+    ignore (B.add t i)
+  done;
+  for i = 0 to 200 do
+    if i mod 2 = 0 then ignore (B.remove t i)
+  done;
+  Alcotest.(check int) "tombstones piled up" 101 (B.tombstones t);
+  B.compact t;
+  Alcotest.(check int) "tombstones gone" 0 (B.tombstones t);
+  Alcotest.(check int) "live kept" 100 (B.size t);
+  Alcotest.(check bool) "odd present" true (B.contains t 101);
+  Alcotest.(check bool) "even gone" false (B.contains t 100);
+  bst_ok t
+
+let prop_bst_matches_set =
+  QCheck.Test.make ~name:"bst matches Set oracle (with compactions)" ~count:150
+    QCheck.(list (pair (int_bound 3) (int_bound 40)))
+    (fun ops ->
+      let t = B.create () in
+      let module IS = Set.Make (Int) in
+      let oracle = ref IS.empty in
+      List.for_all
+        (fun (op, k) ->
+           match op with
+           | 0 ->
+             let expect = not (IS.mem k !oracle) in
+             oracle := IS.add k !oracle;
+             B.add t k = expect
+           | 1 ->
+             let expect = IS.mem k !oracle in
+             oracle := IS.remove k !oracle;
+             B.remove t k = expect
+           | 2 ->
+             B.compact t;
+             true
+           | _ -> B.contains t k = IS.mem k !oracle)
+        ops
+      && B.to_list t = IS.elements !oracle
+      && B.check_invariants t = Ok ())
+
+let test_bst_concurrent_with_compaction () =
+  let t = B.create () in
+  let violated = Atomic.make false in
+  let stop = Atomic.make false in
+  let compactor =
+    Domain.spawn (fun () ->
+        let n = ref 0 in
+        while not (Atomic.get stop) do
+          B.compact t;
+          incr n;
+          Unix.sleepf 0.002
+        done;
+        !n)
+  in
+  let domains = 3 and keys_per_domain = 64 and iters = 3_000 in
+  let ds =
+    Stress_helpers.spawn_n domains (fun id ->
+        let rng = Rlk_primitives.Prng.create ~seed:(id * 17 + 3) in
+        let present = Array.make keys_per_domain false in
+        let key i = (i * domains) + id + 1 in
+        for _ = 1 to iters do
+          let i = Rlk_primitives.Prng.below rng keys_per_domain in
+          match Rlk_primitives.Prng.below rng 3 with
+          | 0 ->
+            if B.add t (key i) <> not present.(i) then Atomic.set violated true;
+            present.(i) <- true
+          | 1 ->
+            if B.remove t (key i) <> present.(i) then Atomic.set violated true;
+            present.(i) <- false
+          | _ ->
+            if B.contains t (key i) <> present.(i) then Atomic.set violated true
+        done)
+  in
+  Stress_helpers.join_all ds;
+  Atomic.set stop true;
+  let compactions = Domain.join compactor in
+  Alcotest.(check bool) "transitions exact under compaction" false
+    (Atomic.get violated);
+  Alcotest.(check bool) "compactions actually ran" true (compactions > 0);
+  bst_ok t
+
+let () =
+  Alcotest.run "structures"
+    [ ("hashtable-sequential",
+       [ Alcotest.test_case "basics" `Quick test_basic;
+         Alcotest.test_case "resize preserves contents" `Quick
+           test_resize_preserves_contents;
+         Alcotest.test_case "rejects silly sizes" `Quick test_rejects_silly_sizes ]);
+      ("hashtable-property",
+       [ QCheck_alcotest.to_alcotest ~long:false prop_matches_hashtbl ]);
+      ("hashtable-concurrent",
+       [ Alcotest.test_case "disjoint keys, strict transitions" `Quick
+           test_concurrent_disjoint_keys;
+         Alcotest.test_case "shared keys, net counts" `Quick
+           test_concurrent_shared_counters ]);
+      ("bst-sequential",
+       [ Alcotest.test_case "basics and revival" `Quick test_bst_basic;
+         Alcotest.test_case "compaction" `Quick test_bst_compact ]);
+      ("bst-property",
+       [ QCheck_alcotest.to_alcotest ~long:false prop_bst_matches_set ]);
+      ("bst-concurrent",
+       [ Alcotest.test_case "updates race a compactor" `Quick
+           test_bst_concurrent_with_compaction ]) ]

@@ -1,0 +1,910 @@
+open Rlk_vm
+
+let pg = Page.size
+
+let check_mm mm =
+  match Mm.check_invariants mm with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "mm invariant: %s" m
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %a" Mm_ops.pp_error e
+
+(* ---------------- page / prot ---------------- *)
+
+let test_page_arith () =
+  Alcotest.(check int) "align_down" 0 (Page.align_down 100);
+  Alcotest.(check int) "align_down exact" pg (Page.align_down pg);
+  Alcotest.(check int) "align_up" pg (Page.align_up 1);
+  Alcotest.(check int) "align_up exact" pg (Page.align_up pg);
+  Alcotest.(check bool) "aligned" true (Page.is_aligned (7 * pg));
+  Alcotest.(check bool) "unaligned" false (Page.is_aligned (pg + 1));
+  Alcotest.(check int) "page of addr" 3 (Page.of_addr (3 * pg + 17))
+
+let test_prot () =
+  Alcotest.(check bool) "rw allows write" true (Prot.allows Prot.read_write Prot.Write);
+  Alcotest.(check bool) "ro forbids write" false (Prot.allows Prot.read_only Prot.Write);
+  Alcotest.(check bool) "none forbids read" false (Prot.allows Prot.none Prot.Read);
+  Alcotest.(check bool) "rx allows exec" true (Prot.allows Prot.read_exec Prot.Exec);
+  Alcotest.(check string) "pp" "rw-" (Prot.to_string Prot.read_write);
+  Alcotest.(check bool) "equal" true (Prot.equal Prot.none Prot.none);
+  Alcotest.(check bool) "unequal" false (Prot.equal Prot.none Prot.read_only)
+
+(* ---------------- Mm ---------------- *)
+
+let test_mm_insert_find () =
+  let mm = Mm.create () in
+  let v1 = Vma.make ~start_:(10 * pg) ~end_:(20 * pg) ~prot:Prot.read_write in
+  let v2 = Vma.make ~start_:(30 * pg) ~end_:(40 * pg) ~prot:Prot.none in
+  Mm.insert mm v1;
+  Mm.insert mm v2;
+  check_mm mm;
+  Alcotest.(check int) "count" 2 (Mm.vma_count mm);
+  Alcotest.(check bool) "find_vma inside" true (Mm.find_vma mm (15 * pg) == Some v1 |> fun _ -> Mm.find_vma mm (15 * pg) = Some v1);
+  Alcotest.(check bool) "find_vma in gap returns next" true
+    (Mm.find_vma mm (25 * pg) = Some v2);
+  Alcotest.(check bool) "find_vma_at in gap is none" true
+    (Mm.find_vma_at mm (25 * pg) = None);
+  Alcotest.(check bool) "find_vma past end" true (Mm.find_vma mm (50 * pg) = None);
+  Alcotest.(check bool) "next_vma" true (Mm.next_vma mm v1 = Some v2);
+  Alcotest.(check bool) "prev_vma" true (Mm.prev_vma mm v2 = Some v1);
+  Alcotest.(check bool) "prev of first" true (Mm.prev_vma mm v1 = None)
+
+let test_mm_insert_overlap_rejected () =
+  let mm = Mm.create () in
+  Mm.insert mm (Vma.make ~start_:(10 * pg) ~end_:(20 * pg) ~prot:Prot.read_write);
+  (try
+     Mm.insert mm (Vma.make ~start_:(15 * pg) ~end_:(25 * pg) ~prot:Prot.none);
+     Alcotest.fail "overlap accepted"
+   with Invalid_argument _ -> ())
+
+let test_mm_adjust () =
+  let mm = Mm.create () in
+  let v1 = Vma.make ~start_:(10 * pg) ~end_:(20 * pg) ~prot:Prot.read_write in
+  let v2 = Vma.make ~start_:(20 * pg) ~end_:(30 * pg) ~prot:Prot.none in
+  Mm.insert mm v1;
+  Mm.insert mm v2;
+  let structural_before = Mm.structural_changes mm in
+  (* Boundary shift: v1 grows into v2's head. *)
+  Mm.adjust mm v2 ~new_start:(22 * pg) ~new_end:(30 * pg);
+  Mm.adjust mm v1 ~new_start:(10 * pg) ~new_end:(22 * pg);
+  check_mm mm;
+  Alcotest.(check int) "no structural change" structural_before
+    (Mm.structural_changes mm);
+  Alcotest.(check bool) "lookup follows new key" true
+    (Mm.find_vma_at mm (21 * pg) = Some v1);
+  (* Overlapping adjust rejected. *)
+  (try
+     Mm.adjust mm v2 ~new_start:(21 * pg) ~new_end:(30 * pg);
+     Alcotest.fail "overlapping adjust accepted"
+   with Invalid_argument _ -> ())
+
+let test_mm_overlapping_query () =
+  let mm = Mm.create () in
+  let mk i = Vma.make ~start_:(i * 10 * pg) ~end_:((i * 10 + 5) * pg) ~prot:Prot.none in
+  let vs = List.init 4 mk in
+  List.iter (Mm.insert mm) vs;
+  let hits = Mm.overlapping mm (Rlk.Range.v ~lo:(3 * pg) ~hi:(22 * pg)) in
+  (* [3,22) pages meets [0,5), [10,15) and [20,25). *)
+  Alcotest.(check int) "three intersections" 3 (List.length hits);
+  let misses = Mm.overlapping mm (Rlk.Range.v ~lo:(5 * pg) ~hi:(10 * pg)) in
+  Alcotest.(check int) "gap misses" 0 (List.length misses)
+
+(* ---------------- Mm_ops: mmap / munmap ---------------- *)
+
+let test_mmap_basic_and_merge () =
+  let mm = Mm.create () in
+  let a = ok (Mm_ops.mmap mm ~len:(4 * pg) ~prot:Prot.read_write ()) in
+  Alcotest.(check bool) "aligned result" true (Page.is_aligned a);
+  Alcotest.(check int) "one vma" 1 (Mm.vma_count mm);
+  (* Adjacent same-prot fixed mapping merges. *)
+  let b = ok (Mm_ops.mmap mm ~addr:(a + 4 * pg) ~len:(2 * pg) ~prot:Prot.read_write ()) in
+  Alcotest.(check int) "merged" 1 (Mm.vma_count mm);
+  Alcotest.(check int) "b follows a" (a + 4 * pg) b;
+  (* Adjacent different-prot does not merge. *)
+  let _c = ok (Mm_ops.mmap mm ~addr:(a + 6 * pg) ~len:pg ~prot:Prot.none ()) in
+  Alcotest.(check int) "not merged" 2 (Mm.vma_count mm);
+  check_mm mm
+
+let test_mmap_fixed_overlap () =
+  let mm = Mm.create () in
+  let a = ok (Mm_ops.mmap mm ~len:(4 * pg) ~prot:Prot.read_write ()) in
+  (match Mm_ops.mmap mm ~addr:(a + pg) ~len:pg ~prot:Prot.none () with
+   | Error Mm_ops.Eexist -> ()
+   | _ -> Alcotest.fail "expected EEXIST");
+  (match Mm_ops.mmap mm ~addr:(a + 1) ~len:pg ~prot:Prot.none () with
+   | Error Mm_ops.Einval -> ()
+   | _ -> Alcotest.fail "expected EINVAL for unaligned");
+  (match Mm_ops.mmap mm ~len:0 ~prot:Prot.none () with
+   | Error Mm_ops.Einval -> ()
+   | _ -> Alcotest.fail "expected EINVAL for zero length")
+
+let test_mmap_first_fit_reuses_gap () =
+  let mm = Mm.create () in
+  let a = ok (Mm_ops.mmap mm ~len:(4 * pg) ~prot:Prot.read_write ()) in
+  let b = ok (Mm_ops.mmap mm ~len:(4 * pg) ~prot:Prot.none ()) in
+  ok (Mm_ops.munmap mm ~addr:a ~len:(4 * pg));
+  let c = ok (Mm_ops.mmap mm ~len:(2 * pg) ~prot:Prot.none ()) in
+  Alcotest.(check int) "gap reused" a c;
+  ignore b;
+  check_mm mm
+
+let test_munmap_splits () =
+  let mm = Mm.create () in
+  let a = ok (Mm_ops.mmap mm ~len:(10 * pg) ~prot:Prot.read_write ()) in
+  ok (Mm_ops.munmap mm ~addr:(a + 4 * pg) ~len:(2 * pg));
+  Alcotest.(check int) "split into two" 2 (Mm.vma_count mm);
+  Alcotest.(check bool) "hole unmapped" true (Mm.find_vma_at mm (a + 5 * pg) = None);
+  Alcotest.(check bool) "head mapped" true (Mm.find_vma_at mm a <> None);
+  Alcotest.(check bool) "tail mapped" true (Mm.find_vma_at mm (a + 9 * pg) <> None);
+  (* munmap over gaps is fine. *)
+  ok (Mm_ops.munmap mm ~addr:a ~len:(10 * pg));
+  Alcotest.(check int) "all gone" 0 (Mm.vma_count mm);
+  check_mm mm
+
+let test_alignment_errors () =
+  let mm = Mm.create () in
+  let a = ok (Mm_ops.mmap mm ~len:(4 * pg) ~prot:Prot.read_write ()) in
+  (match Mm_ops.munmap mm ~addr:(a + 1) ~len:pg with
+   | Error Mm_ops.Einval -> ()
+   | _ -> Alcotest.fail "unaligned munmap accepted");
+  (match Mm_ops.munmap mm ~addr:a ~len:0 with
+   | Error Mm_ops.Einval -> ()
+   | _ -> Alcotest.fail "zero-length munmap accepted");
+  (match Mm_ops.classify_mprotect mm ~addr:(a + 3) ~len:pg ~prot:Prot.none with
+   | Error Mm_ops.Einval -> ()
+   | _ -> Alcotest.fail "unaligned mprotect accepted");
+  (* Unaligned length rounds up to pages, like the kernel. *)
+  ignore (ok (Mm_ops.apply_mprotect mm ~addr:a ~len:100 ~prot:Prot.read_only
+                ~allow_structural:true));
+  Alcotest.(check bool) "whole first page protected" true
+    (Prot.equal (Option.get (Mm.find_vma_at mm (a + pg - 1))).Vma.prot
+       Prot.read_only);
+  check_mm mm
+
+let test_mmap_respects_address_limit () =
+  let mm = Mm.create () in
+  (match Mm_ops.mmap mm ~addr:(Page.align_down ((1 lsl 46) - pg)) ~len:(2 * pg)
+           ~prot:Prot.none () with
+   | Error Mm_ops.Enomem -> ()
+   | _ -> Alcotest.fail "mapping past the address-space limit accepted")
+
+(* ---------------- Mm_ops: mprotect classification ---------------- *)
+
+(* Layout used throughout: [A: rw 0..8] [B: none 8..16] adjacent, plus an
+   isolated [C: rw 32..40]. Addresses in pages relative to base. *)
+let mk_figure2 () =
+  let mm = Mm.create () in
+  let base = ok (Mm_ops.mmap mm ~len:(8 * pg) ~prot:Prot.read_write ()) in
+  let _ = ok (Mm_ops.mmap mm ~addr:(base + 8 * pg) ~len:(8 * pg) ~prot:Prot.none ()) in
+  let c = ok (Mm_ops.mmap mm ~addr:(base + 32 * pg) ~len:(8 * pg) ~prot:Prot.read_write ()) in
+  ignore c;
+  (mm, base)
+
+let classify mm ~addr ~len ~prot = ok (Mm_ops.classify_mprotect mm ~addr ~len ~prot)
+
+let test_classify_nop () =
+  let mm, base = mk_figure2 () in
+  (match classify mm ~addr:(base + 2 * pg) ~len:pg ~prot:Prot.read_write with
+   | Mm_ops.Nop -> ()
+   | _ -> Alcotest.fail "expected Nop")
+
+let test_classify_shift_from_prev () =
+  (* Figure 2's case: head of the NONE VMA takes the RW protection of its
+     predecessor — boundary shift, no tree change. *)
+  let mm, base = mk_figure2 () in
+  (match classify mm ~addr:(base + 8 * pg) ~len:pg ~prot:Prot.read_write with
+   | Mm_ops.Metadata (Mm_ops.Shift_from_prev (p, v)) ->
+     Alcotest.(check int) "prev is A" base p.Vma.start_;
+     Alcotest.(check int) "vma is B" (base + 8 * pg) v.Vma.start_
+   | _ -> Alcotest.fail "expected Shift_from_prev")
+
+let test_classify_shift_into_next () =
+  (* Shrink: tail of the RW VMA goes back to NONE, absorbed by B. *)
+  let mm, base = mk_figure2 () in
+  (match classify mm ~addr:(base + 6 * pg) ~len:(2 * pg) ~prot:Prot.none with
+   | Mm_ops.Metadata (Mm_ops.Shift_into_next (v, n)) ->
+     Alcotest.(check int) "vma is A" base v.Vma.start_;
+     Alcotest.(check int) "next is B" (base + 8 * pg) n.Vma.start_
+   | _ -> Alcotest.fail "expected Shift_into_next")
+
+let test_classify_whole_vma () =
+  let mm, base = mk_figure2 () in
+  (* Whole C (isolated) to read-only: metadata only. *)
+  (match classify mm ~addr:(base + 32 * pg) ~len:(8 * pg) ~prot:Prot.read_only with
+   | Mm_ops.Metadata (Mm_ops.Whole_vma v) ->
+     Alcotest.(check int) "vma is C" (base + 32 * pg) v.Vma.start_
+   | _ -> Alcotest.fail "expected Whole_vma");
+  (* Whole B to rw would merge with A: structural. *)
+  (match classify mm ~addr:(base + 8 * pg) ~len:(8 * pg) ~prot:Prot.read_write with
+   | Mm_ops.Structural -> ()
+   | _ -> Alcotest.fail "expected Structural for whole-vma merge")
+
+let test_classify_structural_cases () =
+  let mm, base = mk_figure2 () in
+  (* Middle of A: split into three. *)
+  (match classify mm ~addr:(base + 2 * pg) ~len:pg ~prot:Prot.none with
+   | Mm_ops.Structural -> ()
+   | _ -> Alcotest.fail "middle should be structural");
+  (* Tail of B with no successor: split. *)
+  (match classify mm ~addr:(base + 14 * pg) ~len:(2 * pg) ~prot:Prot.read_only with
+   | Mm_ops.Structural -> ()
+   | _ -> Alcotest.fail "tail without matching successor should be structural");
+  (* Spanning A and B: structural (multi-vma). *)
+  (match classify mm ~addr:(base + 6 * pg) ~len:(4 * pg) ~prot:Prot.read_only with
+   | Mm_ops.Structural -> ()
+   | _ -> Alcotest.fail "multi-vma should be structural");
+  (* Unmapped gap: ENOMEM. *)
+  (match Mm_ops.classify_mprotect mm ~addr:(base + 20 * pg) ~len:pg ~prot:Prot.none with
+   | Error Mm_ops.Enomem -> ()
+   | _ -> Alcotest.fail "gap should be ENOMEM");
+  (* Range reaching past B into the gap: ENOMEM. *)
+  (match Mm_ops.classify_mprotect mm ~addr:(base + 14 * pg) ~len:(4 * pg) ~prot:Prot.none with
+   | Error Mm_ops.Enomem -> ()
+   | _ -> Alcotest.fail "partial gap should be ENOMEM")
+
+let test_apply_metadata_preserves_structure () =
+  let mm, base = mk_figure2 () in
+  let structural0 = Mm.structural_changes mm in
+  (match ok (Mm_ops.apply_mprotect mm ~addr:(base + 8 * pg) ~len:(2 * pg)
+               ~prot:Prot.read_write ~allow_structural:false) with
+   | `Applied (Mm_ops.Metadata _) -> ()
+   | _ -> Alcotest.fail "expected metadata application");
+  Alcotest.(check int) "tree untouched" structural0 (Mm.structural_changes mm);
+  Alcotest.(check bool) "A grew" true
+    ((Option.get (Mm.find_vma_at mm base)).Vma.end_ = base + 10 * pg);
+  check_mm mm
+
+let test_apply_structural_refused_when_disallowed () =
+  let mm, base = mk_figure2 () in
+  let before = Mm.to_list mm |> List.map (fun v -> (v.Vma.start_, v.Vma.end_, v.Vma.prot)) in
+  (match ok (Mm_ops.apply_mprotect mm ~addr:(base + 2 * pg) ~len:pg
+               ~prot:Prot.none ~allow_structural:false) with
+   | `Needs_structural -> ()
+   | _ -> Alcotest.fail "expected Needs_structural");
+  let after = Mm.to_list mm |> List.map (fun v -> (v.Vma.start_, v.Vma.end_, v.Vma.prot)) in
+  Alcotest.(check bool) "nothing modified" true (before = after)
+
+let test_apply_structural_split_and_merge () =
+  let mm, base = mk_figure2 () in
+  (* Punch a NONE hole in the middle of A: 3 pieces. *)
+  (match ok (Mm_ops.apply_mprotect mm ~addr:(base + 2 * pg) ~len:pg
+               ~prot:Prot.none ~allow_structural:true) with
+   | `Applied Mm_ops.Structural -> ()
+   | _ -> Alcotest.fail "expected structural application");
+  check_mm mm;
+  Alcotest.(check bool) "hole has NONE" true
+    (Prot.equal (Option.get (Mm.find_vma_at mm (base + 2 * pg))).Vma.prot Prot.none);
+  (* Restore: the three pieces merge back into one RW vma. *)
+  ignore (ok (Mm_ops.apply_mprotect mm ~addr:(base + 2 * pg) ~len:pg
+                ~prot:Prot.read_write ~allow_structural:true));
+  check_mm mm;
+  let a = Option.get (Mm.find_vma_at mm base) in
+  Alcotest.(check int) "A whole again" (base + 8 * pg) a.Vma.end_
+
+(* ---------------- page faults ---------------- *)
+
+let test_page_fault () =
+  let mm, base = mk_figure2 () in
+  (match Mm_ops.page_fault mm ~addr:(base + pg) ~access:Prot.Write with
+   | Ok v -> Alcotest.(check int) "vma found" base v.Vma.start_
+   | Error `Segv -> Alcotest.fail "fault on rw should succeed");
+  (match Mm_ops.page_fault mm ~addr:(base + 9 * pg) ~access:Prot.Read with
+   | Error `Segv -> ()
+   | Ok _ -> Alcotest.fail "read on PROT_NONE must fault");
+  (match Mm_ops.page_fault mm ~addr:(base + 20 * pg) ~access:Prot.Read with
+   | Error `Segv -> ()
+   | Ok _ -> Alcotest.fail "unmapped must segv")
+
+(* ---------------- Sync variants: sequential smoke + equivalence ------- *)
+
+let drive_variant sync =
+  (* A deterministic script touching every op. *)
+  let a = ok (Sync.mmap sync ~len:(16 * pg) ~prot:Prot.none ()) in
+  ok (Sync.mprotect sync ~addr:a ~len:(4 * pg) ~prot:Prot.read_write);
+  (match Sync.page_fault sync ~addr:(a + pg) ~access:Prot.Write with
+   | Ok () -> ()
+   | Error `Segv -> Alcotest.fail "fault on committed region");
+  (* expand: boundary shift *)
+  ok (Sync.mprotect sync ~addr:(a + 4 * pg) ~len:(4 * pg) ~prot:Prot.read_write);
+  (* shrink *)
+  ok (Sync.mprotect sync ~addr:(a + 6 * pg) ~len:(2 * pg) ~prot:Prot.none);
+  (* structural: punch a hole *)
+  ok (Sync.mprotect sync ~addr:(a + 2 * pg) ~len:pg ~prot:Prot.read_only);
+  ok (Sync.munmap sync ~addr:(a + 12 * pg) ~len:(2 * pg));
+  (match Sync.page_fault sync ~addr:(a + 13 * pg) ~access:Prot.Read with
+   | Error `Segv -> ()
+   | Ok () -> Alcotest.fail "fault on unmapped must segv");
+  List.map
+    (fun v -> (v.Vma.start_ - a, v.Vma.end_ - a, Prot.to_string v.Vma.prot))
+    (Mm.to_list (Sync.mm sync))
+
+let test_all_variants_agree () =
+  let reference = drive_variant (Sync.create Sync.Stock) in
+  List.iter
+    (fun variant ->
+       let layout = drive_variant (Sync.create variant) in
+       if layout <> reference then
+         Alcotest.failf "variant %s diverged from stock" (Sync.variant_name variant);
+       ())
+    (List.tl Sync.all_variants)
+
+let test_speculation_counters () =
+  let sync = Sync.create Sync.List_refined in
+  let a = ok (Sync.mmap sync ~len:(64 * pg) ~prot:Prot.none ()) in
+  (* First commit: structural (split of the NONE vma head). *)
+  ok (Sync.mprotect sync ~addr:a ~len:(4 * pg) ~prot:Prot.read_write);
+  let s1 = Sync.op_stats sync in
+  Alcotest.(check int) "first commit falls back" 1 s1.Sync.structural_fallbacks;
+  (* Subsequent expansions are boundary shifts: speculative successes. *)
+  for i = 1 to 10 do
+    ok (Sync.mprotect sync ~addr:(a + (4 * i * pg)) ~len:(4 * pg) ~prot:Prot.read_write)
+  done;
+  let s2 = Sync.op_stats sync in
+  Alcotest.(check int) "ten speculative successes" 10 s2.Sync.spec_success;
+  Alcotest.(check int) "no further fallback" 1 s2.Sync.structural_fallbacks;
+  check_mm (Sync.mm sync)
+
+let test_stock_has_no_speculation () =
+  let sync = Sync.create Sync.Stock in
+  let a = ok (Sync.mmap sync ~len:(8 * pg) ~prot:Prot.none ()) in
+  ok (Sync.mprotect sync ~addr:a ~len:(4 * pg) ~prot:Prot.read_write);
+  let s = Sync.op_stats sync in
+  Alcotest.(check int) "no spec success" 0 s.Sync.spec_success;
+  Alcotest.(check int) "no fallback recorded" 0 s.Sync.structural_fallbacks
+
+(* ---------------- brk & speculative maps (Section 5.2 extension) ------ *)
+
+let test_brk_semantics () =
+  List.iter
+    (fun variant ->
+       let sync = Sync.create variant in
+       let hb = Sync.heap_base in
+       Alcotest.(check int) "break starts at base" hb (Sync.current_break sync);
+       (* Grow (structural: creates the heap vma). *)
+       ok (Sync.brk sync ~new_break:(hb + 4 * pg));
+       Alcotest.(check int) "grown" (hb + 4 * pg) (Sync.current_break sync);
+       (* Grow again (metadata-only end shift). *)
+       let structural0 = Mm.structural_changes (Sync.mm sync) in
+       ok (Sync.brk sync ~new_break:(hb + 8 * pg));
+       Alcotest.(check int) "grown more" (hb + 8 * pg) (Sync.current_break sync);
+       Alcotest.(check int) "grow did not touch mm_rb" structural0
+         (Mm.structural_changes (Sync.mm sync));
+       (* Heap pages are writable. *)
+       (match Sync.page_fault sync ~addr:(hb + 5 * pg) ~access:Prot.Write with
+        | Ok () -> ()
+        | Error `Segv -> Alcotest.fail "heap page must be writable");
+       (* Shrink (metadata). *)
+       ok (Sync.brk sync ~new_break:(hb + 2 * pg));
+       Alcotest.(check int) "shrunk" (hb + 2 * pg) (Sync.current_break sync);
+       (match Sync.page_fault sync ~addr:(hb + 3 * pg) ~access:Prot.Read with
+        | Error `Segv -> ()
+        | Ok () -> Alcotest.fail "released heap page must fault");
+       (* Destroy (structural). *)
+       ok (Sync.brk sync ~new_break:hb);
+       Alcotest.(check int) "destroyed" hb (Sync.current_break sync);
+       (* Below base is invalid. *)
+       (match Sync.brk sync ~new_break:(hb - pg) with
+        | Error Mm_ops.Einval -> ()
+        | _ -> Alcotest.fail "below-base accepted");
+       check_mm (Sync.mm sync))
+    [ Sync.Stock; Sync.List_refined; Sync.List_refined_maps ]
+
+let test_brk_collision () =
+  let sync = Sync.create Sync.Stock in
+  (* Map something in the heap's way. *)
+  let blocker = Sync.heap_base + 4 * pg in
+  ignore (ok (Sync.mmap sync ~addr:blocker ~len:pg ~prot:Prot.none ()));
+  ok (Sync.brk sync ~new_break:(Sync.heap_base + 2 * pg));
+  (match Sync.brk sync ~new_break:(Sync.heap_base + 8 * pg) with
+   | Error Mm_ops.Enomem -> ()
+   | _ -> Alcotest.fail "growth through a mapping accepted");
+  Alcotest.(check int) "break unchanged after failure"
+    (Sync.heap_base + 2 * pg) (Sync.current_break sync)
+
+let test_brk_speculation_counters () =
+  let sync = Sync.create Sync.List_refined in
+  let hb = Sync.heap_base in
+  ok (Sync.brk sync ~new_break:(hb + 2 * pg));
+  let s1 = Sync.op_stats sync in
+  Alcotest.(check int) "creation fell back" 1 s1.Sync.structural_fallbacks;
+  for i = 2 to 11 do
+    ok (Sync.brk sync ~new_break:(hb + (i * pg)))
+  done;
+  let s2 = Sync.op_stats sync in
+  Alcotest.(check int) "ten speculative brks" 10 s2.Sync.spec_success;
+  Alcotest.(check int) "brks counted" 11 s2.Sync.brks
+
+let test_mmap_speculation () =
+  (* Non-fixed mappings under list-refined+maps must land at the same
+     first-fit addresses as under stock, with the scan counted as
+     speculative. *)
+  let stock = Sync.create Sync.Stock in
+  let spec = Sync.create Sync.List_refined_maps in
+  let script sync =
+    let a = ok (Sync.mmap sync ~len:(4 * pg) ~prot:Prot.read_write ()) in
+    let b = ok (Sync.mmap sync ~len:(8 * pg) ~prot:Prot.none ()) in
+    ok (Sync.munmap sync ~addr:a ~len:(4 * pg));
+    let c = ok (Sync.mmap sync ~len:(2 * pg) ~prot:Prot.none ()) in
+    (a, b, c)
+  in
+  let r1 = script stock and r2 = script spec in
+  Alcotest.(check bool) "identical placement" true (r1 = r2);
+  let st = Sync.op_stats spec in
+  Alcotest.(check int) "pre-scans valid" 3 st.Sync.map_scan_hits;
+  Alcotest.(check int) "no rescans needed sequentially" 0 st.Sync.map_scan_misses;
+  check_mm (Sync.mm spec)
+
+let test_brk_concurrent_with_arenas () =
+  (* One domain moves the break while others fault their arenas — the
+     refined locks must keep them independent and correct. *)
+  let sync = Sync.create Sync.List_refined_maps in
+  let failed = Atomic.make false in
+  let ds =
+    Stress_helpers.spawn_n 3 (fun id ->
+        if id = 0 then begin
+          let hb = Sync.heap_base in
+          for i = 1 to 300 do
+            let target = hb + ((1 + (i mod 16)) * pg) in
+            match Sync.brk sync ~new_break:target with
+            | Ok () -> ()
+            | Error _ -> Atomic.set failed true
+          done
+        end
+        else
+          match Glibc_arena.create sync ~size:(256 * pg) ~trim_threshold:(8 * pg) () with
+          | Error _ -> Atomic.set failed true
+          | Ok arena ->
+            for i = 1 to 150 do
+              (match Glibc_arena.malloc_touched arena pg with
+               | Ok _ -> ()
+               | Error _ -> Atomic.set failed true);
+              if i mod 30 = 0 then
+                match Glibc_arena.reset arena with
+                | Ok () -> ()
+                | Error _ -> Atomic.set failed true
+            done)
+  in
+  Stress_helpers.join_all ds;
+  Alcotest.(check bool) "no failures" false (Atomic.get failed);
+  check_mm (Sync.mm sync)
+
+let test_read_range_excludes_writes () =
+  (* A migration-style read section over a region must block protection
+     flips on it, and not block flips on unrelated VMAs. Note the paper's
+     granularity: a speculative mprotect write-locks its whole VMA plus a
+     page each side, so "disjoint" must mean a different VMA, not merely
+     different pages of the same one. *)
+  let sync = Sync.create Sync.List_refined in
+  let a = ok (Sync.mmap sync ~len:(8 * pg) ~prot:Prot.read_write ()) in
+  let far = ok (Sync.mmap sync ~addr:(a + 1024 * pg) ~len:(4 * pg) ~prot:Prot.read_write ()) in
+  let entered = Atomic.make false and release = Atomic.make false in
+  let reader =
+    Domain.spawn (fun () ->
+        Sync.read_range sync (Rlk.Range.v ~lo:a ~hi:(a + 4 * pg)) (fun () ->
+            Atomic.set entered true;
+            while not (Atomic.get release) do Domain.cpu_relax () done))
+  in
+  while not (Atomic.get entered) do Domain.cpu_relax () done;
+  (* A whole-VMA flip on the unrelated far mapping is metadata-only, so it
+     runs under the far VMA's own refined write range and proceeds while
+     the section is held... *)
+  ok (Sync.mprotect sync ~addr:far ~len:(4 * pg) ~prot:Prot.read_only);
+  (* ...an overlapping mprotect blocks until the section ends. *)
+  let flip_done = Atomic.make false in
+  let flipper =
+    Domain.spawn (fun () ->
+        ok (Sync.mprotect sync ~addr:(a + pg) ~len:pg ~prot:Prot.read_only);
+        Atomic.set flip_done true)
+  in
+  Unix.sleepf 0.05;
+  Alcotest.(check bool) "overlapping mprotect waits" false (Atomic.get flip_done);
+  Atomic.set release true;
+  Domain.join reader;
+  Domain.join flipper;
+  Alcotest.(check bool) "flip completed after section" true (Atomic.get flip_done);
+  check_mm (Sync.mm sync)
+
+(* ---------------- Arena ---------------- *)
+
+let test_arena_lifecycle () =
+  let sync = Sync.create Sync.List_refined in
+  let arena = ok (Glibc_arena.create sync ~size:(256 * pg) ~trim_threshold:(16 * pg) ()) in
+  Alcotest.(check int) "starts uncommitted" 0 (Glibc_arena.committed_bytes arena);
+  let p1 = ok (Glibc_arena.malloc_touched arena 100) in
+  Alcotest.(check bool) "inside arena" true
+    (p1 >= Glibc_arena.base arena && p1 < Glibc_arena.base arena + Glibc_arena.size arena);
+  Alcotest.(check int) "one page committed" pg (Glibc_arena.committed_bytes arena);
+  (* Fill enough to grow well past the trim threshold. *)
+  for _ = 1 to 40 do
+    ignore (ok (Glibc_arena.malloc_touched arena (2 * pg)))
+  done;
+  Alcotest.(check bool) "committed grew" true
+    (Glibc_arena.committed_bytes arena > 16 * pg);
+  ok (Glibc_arena.reset arena);
+  Alcotest.(check int) "trimmed to threshold" (16 * pg)
+    (Glibc_arena.committed_bytes arena);
+  Alcotest.(check int) "empty again" 0 (Glibc_arena.used_bytes arena);
+  (* Exhaustion. *)
+  (match Glibc_arena.malloc arena (512 * pg) with
+   | Error Mm_ops.Enomem -> ()
+   | _ -> Alcotest.fail "expected arena exhaustion");
+  ok (Glibc_arena.destroy arena);
+  Alcotest.(check int) "unmapped" 0 (Mm.vma_count (Sync.mm sync))
+
+let test_arena_speculative_ratio () =
+  (* The paper's observation: >99% of arena mprotects succeed on the
+     speculative path. Our simulator: everything except the very first
+     commit per arena. *)
+  let sync = Sync.create Sync.List_refined in
+  let arena = ok (Glibc_arena.create sync ~size:(1024 * pg) ~trim_threshold:(4 * pg) ()) in
+  for _ = 1 to 50 do
+    for _ = 1 to 20 do
+      ignore (ok (Glibc_arena.malloc_touched arena (pg / 2)))
+    done;
+    ok (Glibc_arena.reset arena)
+  done;
+  let s = Sync.op_stats sync in
+  Alcotest.(check bool) "many mprotects issued" true (s.Sync.mprotects > 50);
+  let ratio = float_of_int s.Sync.spec_success /. float_of_int s.Sync.mprotects in
+  if ratio < 0.95 then
+    Alcotest.failf "speculative ratio too low: %.2f (succ=%d total=%d fallback=%d)"
+      ratio s.Sync.spec_success s.Sync.mprotects s.Sync.structural_fallbacks
+
+let test_arena_isolation () =
+  (* GLIBC-style placement: two arenas must not be adjacent, or the kernel
+     (and this simulator) would merge their PROT_NONE VMAs into one region
+     shared by both threads — defeating range refinement. *)
+  let sync = Sync.create Sync.List_refined in
+  let a = ok (Glibc_arena.create sync ~size:(64 * pg) ()) in
+  let b = ok (Glibc_arena.create sync ~size:(64 * pg) ()) in
+  Alcotest.(check int) "separate NONE vmas" 2 (Mm.vma_count (Sync.mm sync));
+  let gap = abs (Glibc_arena.base b - Glibc_arena.base a) in
+  Alcotest.(check bool) "64MiB-aligned spacing" true (gap >= 64 * 1024 * 1024);
+  (* Committing pages in one arena must not affect the other's VMA. *)
+  ignore (ok (Glibc_arena.malloc_touched a (4 * pg)));
+  Alcotest.(check int) "b untouched" 0 (Glibc_arena.committed_bytes b);
+  ok (Glibc_arena.destroy a);
+  ok (Glibc_arena.destroy b)
+
+(* ---------------- flat-page oracle property ---------------- *)
+
+(* Window of 64 pages at a fixed base; operations quantized to pages. *)
+let window_pages = 64
+
+type vm_op =
+  | Op_mmap of int * int * int (* page, pages, prot-index *)
+  | Op_munmap of int * int
+  | Op_mprotect of int * int * int
+  | Op_fault of int * int (* page, access-index *)
+  | Op_brk of int (* pages above the heap base *)
+
+let prots = [| Prot.none; Prot.read_only; Prot.read_write |]
+
+let accesses = [| Prot.Read; Prot.Write |]
+
+let op_gen =
+  QCheck.Gen.(
+    let page = int_bound (window_pages - 1) in
+    let span = int_range 1 8 in
+    frequency
+      [ (2, map3 (fun p n pr -> Op_mmap (p, n, pr)) page span (int_bound 2));
+        (1, map2 (fun p n -> Op_munmap (p, n)) page span);
+        (3, map3 (fun p n pr -> Op_mprotect (p, n, pr)) page span (int_bound 2));
+        (2, map2 (fun p a -> Op_fault (p, a)) page (int_bound 1));
+        (1, map (fun n -> Op_brk n) (int_bound 16)) ])
+
+let print_op = function
+  | Op_mmap (p, n, pr) -> Printf.sprintf "mmap(%d,%d,%d)" p n pr
+  | Op_munmap (p, n) -> Printf.sprintf "munmap(%d,%d)" p n
+  | Op_mprotect (p, n, pr) -> Printf.sprintf "mprotect(%d,%d,%d)" p n pr
+  | Op_fault (p, a) -> Printf.sprintf "fault(%d,%d)" p a
+  | Op_brk n -> Printf.sprintf "brk(%d)" n
+
+(* Apply to the oracle: an array of page protections (None = unmapped)
+   plus the expected program break (tracked separately: the heap region is
+   far from the page window, so brk interacts with nothing else).
+   Returns the expected outcome. *)
+let oracle_apply pages brk_pages base op =
+  match op with
+  | Op_brk n ->
+    brk_pages := n;
+    `Unit
+  | Op_mmap (p, n, pr) ->
+    let n = min n (window_pages - p) in
+    let occupied = ref false in
+    for i = p to p + n - 1 do
+      if pages.(i) <> None then occupied := true
+    done;
+    if !occupied then `Eexist
+    else begin
+      for i = p to p + n - 1 do pages.(i) <- Some prots.(pr) done;
+      `Addr (base + p * pg)
+    end
+  | Op_munmap (p, n) ->
+    let n = min n (window_pages - p) in
+    for i = p to p + n - 1 do pages.(i) <- None done;
+    `Unit
+  | Op_mprotect (p, n, pr) ->
+    let n = min n (window_pages - p) in
+    let gap = ref false in
+    for i = p to p + n - 1 do
+      if pages.(i) = None then gap := true
+    done;
+    if !gap then `Enomem
+    else begin
+      for i = p to p + n - 1 do pages.(i) <- Some prots.(pr) done;
+      `Unit
+    end
+  | Op_fault (p, a) ->
+    (match pages.(p) with
+     | Some prot when Prot.allows prot accesses.(a) -> `Unit
+     | _ -> `Segv)
+
+let sync_apply sync base op =
+  match op with
+  | Op_brk n -> (
+    match Sync.brk sync ~new_break:(Sync.heap_base + (n * pg)) with
+    | Ok () -> `Unit
+    | Error e -> `Err e)
+  | Op_mmap (p, n, pr) ->
+    let n = min n (window_pages - p) in
+    (match Sync.mmap sync ~addr:(base + p * pg) ~len:(n * pg) ~prot:prots.(pr) () with
+     | Ok a -> `Addr a
+     | Error Mm_ops.Eexist -> `Eexist
+     | Error e -> `Err e)
+  | Op_munmap (p, n) ->
+    let n = min n (window_pages - p) in
+    (match Sync.munmap sync ~addr:(base + p * pg) ~len:(n * pg) with
+     | Ok () -> `Unit
+     | Error e -> `Err e)
+  | Op_mprotect (p, n, pr) ->
+    let n = min n (window_pages - p) in
+    (match Sync.mprotect sync ~addr:(base + p * pg) ~len:(n * pg) ~prot:prots.(pr) with
+     | Ok () -> `Unit
+     | Error Mm_ops.Enomem -> `Enomem
+     | Error e -> `Err e)
+  | Op_fault (p, a) ->
+    (match Sync.page_fault sync ~addr:(base + p * pg + 3) ~access:accesses.(a) with
+     | Ok () -> `Unit
+     | Error `Segv -> `Segv)
+
+let project sync base =
+  (* Page map as seen through the VMAs. *)
+  Array.init window_pages (fun i ->
+      Option.map (fun v -> v.Vma.prot) (Mm.find_vma_at (Sync.mm sync) (base + i * pg)))
+
+let vm_oracle_prop variant ops =
+  let sync = Sync.create variant in
+  (* Reserve the window base deterministically. *)
+  let base =
+    match Sync.mmap sync ~len:pg ~prot:Prot.none () with
+    | Ok a -> a + 16 * pg (* leave the probe mapping behind, use space after *)
+    | Error _ -> QCheck.Test.fail_report "setup mmap failed"
+  in
+  let pages = Array.make window_pages None in
+  let brk_pages = ref 0 in
+  List.for_all
+    (fun op ->
+       let expected = oracle_apply pages brk_pages base op in
+       let got = sync_apply sync base op in
+       (match Mm.check_invariants (Sync.mm sync) with
+        | Ok () -> ()
+        | Error m -> QCheck.Test.fail_reportf "invariant after %s: %s" (print_op op) m);
+       if got <> expected then
+         QCheck.Test.fail_reportf "op %s: oracle/sync disagree" (print_op op);
+       if Sync.current_break sync <> Sync.heap_base + (!brk_pages * pg) then
+         QCheck.Test.fail_reportf "op %s: break mismatch" (print_op op);
+       let proj = project sync base in
+       Array.for_all2
+         (fun a b -> match a, b with
+            | None, None -> true
+            | Some x, Some y -> Prot.equal x y
+            | _ -> false)
+         proj pages)
+    ops
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun l -> String.concat "; " (List.map print_op l))
+    QCheck.Gen.(list_size (int_range 1 60) op_gen)
+
+let prop_vm_matches_oracle_stock =
+  QCheck.Test.make ~name:"stock variant matches flat-page oracle" ~count:100
+    ops_arb (vm_oracle_prop Sync.Stock)
+
+let prop_vm_matches_oracle_refined =
+  QCheck.Test.make ~name:"list-refined variant matches flat-page oracle" ~count:100
+    ops_arb (vm_oracle_prop Sync.List_refined)
+
+let prop_vm_matches_oracle_tree_refined =
+  QCheck.Test.make ~name:"tree-refined variant matches flat-page oracle" ~count:60
+    ops_arb (vm_oracle_prop Sync.Tree_refined)
+
+(* ---------------- trace parsing & replay ---------------- *)
+
+let test_trace_parse () =
+  let text =
+    "# a comment\n\
+     mmap 65536 rw\n\
+     \n\
+     mmap_fixed 0x40000000 8192 none\n\
+     mprotect 0x40000000 4096 rw  # trailing comment\n\
+     fault 0x40000123 w\n\
+     brk 0x40002000\n\
+     munmap 0x40000000 8192\n"
+  in
+  match Trace.parse text with
+  | Error m -> Alcotest.failf "parse failed: %s" m
+  | Ok ops ->
+    Alcotest.(check int) "six operations" 6 (List.length ops);
+    (match List.hd ops with
+     | Trace.Mmap { len = 65536; prot } ->
+       Alcotest.(check bool) "prot rw" true (Prot.equal prot Prot.read_write)
+     | _ -> Alcotest.fail "first op wrong")
+
+let test_trace_parse_errors () =
+  (match Trace.parse "mmap nonsense rw" with
+   | Error m -> Alcotest.(check bool) "line number included" true
+                  (String.length m > 0 && String.sub m 0 6 = "line 1")
+   | Ok _ -> Alcotest.fail "bad arg accepted");
+  (match Trace.parse "mmap 4096 rw\nfly me to the moon" with
+   | Error m -> Alcotest.(check bool) "second line flagged" true
+                  (String.sub m 0 6 = "line 2")
+   | Ok _ -> Alcotest.fail "unknown op accepted")
+
+let prop_trace_pp_roundtrip =
+  let op_gen =
+    QCheck.Gen.(
+      oneof
+        [ map2 (fun len p -> Trace.Mmap { len = len + 1; prot = prots.(p) })
+            (int_bound 100000) (int_bound 2);
+          map3
+            (fun addr len p ->
+               Trace.Mmap_fixed
+                 { addr = addr * pg; len = len + 1; prot = prots.(p) })
+            (int_bound 1000) (int_bound 100000) (int_bound 2);
+          map2 (fun addr len -> Trace.Munmap { addr = addr * pg; len = len + 1 })
+            (int_bound 1000) (int_bound 100000);
+          map3
+            (fun addr len p ->
+               Trace.Mprotect { addr = addr * pg; len = len + 1; prot = prots.(p) })
+            (int_bound 1000) (int_bound 100000) (int_bound 2);
+          map2
+            (fun addr a -> Trace.Fault { addr; access = accesses.(a) })
+            (int_bound 1000000) (int_bound 1);
+          map (fun b -> Trace.Brk { new_break = b }) (int_bound 1000000) ])
+  in
+  QCheck.Test.make ~name:"trace pp/parse roundtrip" ~count:300
+    (QCheck.make op_gen) (fun op ->
+      match Trace.parse_line (Format.asprintf "%a" Trace.pp_op op) with
+      | Ok (Some op') -> op = op'
+      | _ -> false)
+
+let test_trace_replay_and_generation () =
+  let ops = Trace.generate ~seed:11 ~ops:300 in
+  Alcotest.(check int) "requested length" 300 (List.length ops);
+  (* The same sequential trace must leave every variant with the same
+     address space. *)
+  let layout variant =
+    let sync = Sync.create variant in
+    let s = Trace.replay sync ops in
+    (match Mm.check_invariants (Sync.mm sync) with
+     | Ok () -> ()
+     | Error m -> Alcotest.failf "%s: %s" (Sync.variant_name variant) m);
+    ( s,
+      List.map
+        (fun v -> (v.Vma.start_, v.Vma.end_, Prot.to_string v.Vma.prot))
+        (Mm.to_list (Sync.mm sync)) )
+  in
+  let ref_summary, ref_layout = layout Sync.Stock in
+  Alcotest.(check bool) "trace did something" true (ref_summary.Trace.executed > 100);
+  List.iter
+    (fun variant ->
+       let s, l = layout variant in
+       if l <> ref_layout || s <> ref_summary then
+         Alcotest.failf "%s diverged from stock on the same trace"
+           (Sync.variant_name variant))
+    (List.tl Sync.all_variants)
+
+(* ---------------- concurrent stress ---------------- *)
+
+let vm_stress variant () =
+  let sync = Sync.create variant in
+  let domains = 4 and iters = 150 in
+  let failed = Atomic.make false in
+  let barrier = Stress_helpers.make_barrier domains in
+  let ds =
+    Stress_helpers.spawn_n domains (fun _id ->
+        barrier ();
+        match Glibc_arena.create sync ~size:(512 * pg) ~trim_threshold:(8 * pg) () with
+        | Error _ -> Atomic.set failed true
+        | Ok arena ->
+          let ok' = function
+            | Ok _ -> ()
+            | Error _ -> Atomic.set failed true
+          in
+          for i = 1 to iters do
+            ok' (Glibc_arena.malloc_touched arena (pg / 2));
+            ok' (Glibc_arena.malloc_touched arena (3 * pg));
+            if i mod 25 = 0 then ok' (Glibc_arena.reset arena)
+          done;
+          ok' (Glibc_arena.destroy arena))
+  in
+  Stress_helpers.join_all ds;
+  Alcotest.(check bool) "no operation failed" false (Atomic.get failed);
+  check_mm (Sync.mm sync);
+  Alcotest.(check int) "all arenas unmapped" 0 (Mm.vma_count (Sync.mm sync))
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "vm"
+    [ ("page-prot",
+       [ Alcotest.test_case "page arithmetic" `Quick test_page_arith;
+         Alcotest.test_case "protections" `Quick test_prot ]);
+      ("mm",
+       [ Alcotest.test_case "insert/find/neighbours" `Quick test_mm_insert_find;
+         Alcotest.test_case "overlap rejected" `Quick test_mm_insert_overlap_rejected;
+         Alcotest.test_case "in-place adjust" `Quick test_mm_adjust;
+         Alcotest.test_case "overlapping query" `Quick test_mm_overlapping_query ]);
+      ("mmap-munmap",
+       [ Alcotest.test_case "mmap and merging" `Quick test_mmap_basic_and_merge;
+         Alcotest.test_case "fixed mapping errors" `Quick test_mmap_fixed_overlap;
+         Alcotest.test_case "first fit reuses gaps" `Quick test_mmap_first_fit_reuses_gap;
+         Alcotest.test_case "munmap splits" `Quick test_munmap_splits;
+         Alcotest.test_case "alignment errors" `Quick test_alignment_errors;
+         Alcotest.test_case "address-space limit" `Quick
+           test_mmap_respects_address_limit ]);
+      ("mprotect-classify",
+       [ Alcotest.test_case "nop" `Quick test_classify_nop;
+         Alcotest.test_case "shift from prev (fig 2)" `Quick test_classify_shift_from_prev;
+         Alcotest.test_case "shift into next" `Quick test_classify_shift_into_next;
+         Alcotest.test_case "whole vma" `Quick test_classify_whole_vma;
+         Alcotest.test_case "structural cases" `Quick test_classify_structural_cases;
+         Alcotest.test_case "metadata apply keeps tree" `Quick
+           test_apply_metadata_preserves_structure;
+         Alcotest.test_case "refusal leaves state intact" `Quick
+           test_apply_structural_refused_when_disallowed;
+         Alcotest.test_case "split and re-merge" `Quick
+           test_apply_structural_split_and_merge ]);
+      ("fault", [ Alcotest.test_case "page fault checks" `Quick test_page_fault ]);
+      ("sync",
+       [ Alcotest.test_case "all variants agree on a script" `Quick
+           test_all_variants_agree;
+         Alcotest.test_case "speculation counters" `Quick test_speculation_counters;
+         Alcotest.test_case "stock records no speculation" `Quick
+           test_stock_has_no_speculation ]);
+      ("brk",
+       [ Alcotest.test_case "semantics across variants" `Quick test_brk_semantics;
+         Alcotest.test_case "collision is ENOMEM" `Quick test_brk_collision;
+         Alcotest.test_case "speculation counters" `Quick
+           test_brk_speculation_counters;
+         Alcotest.test_case "concurrent with arenas" `Quick
+           test_brk_concurrent_with_arenas ]);
+      ("mmap-speculation",
+       [ Alcotest.test_case "placement matches stock" `Quick test_mmap_speculation ]);
+      ("read-range",
+       [ Alcotest.test_case "migration section excludes overlapping writes"
+           `Quick test_read_range_excludes_writes ]);
+      ("arena",
+       [ Alcotest.test_case "lifecycle" `Quick test_arena_lifecycle;
+         Alcotest.test_case "speculative ratio > 95%" `Quick
+           test_arena_speculative_ratio;
+         Alcotest.test_case "arenas isolated (GLIBC alignment)" `Quick
+           test_arena_isolation ]);
+      ("trace",
+       [ Alcotest.test_case "parses the documented syntax" `Quick test_trace_parse;
+         Alcotest.test_case "reports line numbers" `Quick test_trace_parse_errors;
+         Alcotest.test_case "generated traces replay identically everywhere"
+           `Quick test_trace_replay_and_generation ]);
+      qsuite "trace-property" [ prop_trace_pp_roundtrip ];
+      qsuite "oracle"
+        [ prop_vm_matches_oracle_stock; prop_vm_matches_oracle_refined;
+          prop_vm_matches_oracle_tree_refined ];
+      ("stress",
+       [ Alcotest.test_case "stock" `Quick (vm_stress Sync.Stock);
+         Alcotest.test_case "list-full" `Quick (vm_stress Sync.List_full);
+         Alcotest.test_case "tree-refined" `Quick (vm_stress Sync.Tree_refined);
+         Alcotest.test_case "list-refined" `Quick (vm_stress Sync.List_refined) ]) ]

@@ -1,0 +1,202 @@
+open Rlk_workloads
+
+(* ---------------- Runner ---------------- *)
+
+let test_runner_throughput () =
+  let r =
+    Runner.throughput ~threads:2 ~duration_s:0.05 ~worker:(fun ~id ~stop ->
+        ignore id;
+        let n = ref 0 in
+        while not (stop ()) do incr n done;
+        !n)
+  in
+  Alcotest.(check int) "threads recorded" 2 r.Runner.threads;
+  Alcotest.(check bool) "made progress" true (r.Runner.total_ops > 0);
+  Alcotest.(check bool) "elapsed sane" true
+    (r.Runner.elapsed_s >= 0.04 && r.Runner.elapsed_s < 2.0);
+  Alcotest.(check bool) "throughput consistent" true
+    (abs_float (r.Runner.throughput -. float_of_int r.Runner.total_ops /. r.Runner.elapsed_s)
+     < 1.0)
+
+let test_runner_fixed_work () =
+  let r =
+    Runner.fixed_work ~threads:3 ~worker:(fun ~id ->
+        ignore id;
+        let acc = ref 0 in
+        for i = 1 to 100_000 do acc := !acc + i done;
+        ignore (Sys.opaque_identity !acc);
+        7)
+  in
+  Alcotest.(check int) "ops summed" 21 r.Runner.total_ops;
+  Alcotest.(check bool) "elapsed positive" true (r.Runner.elapsed_s > 0.0)
+
+let test_runner_validation () =
+  (try
+     ignore (Runner.fixed_work ~threads:0 ~worker:(fun ~id -> id));
+     Alcotest.fail "threads=0 accepted"
+   with Invalid_argument _ -> ())
+
+let test_thread_counts () =
+  Alcotest.(check (list int)) "capped sweep" [ 1; 2; 3; 4 ]
+    (Runner.pin_thread_counts ~max:4);
+  Alcotest.(check (list int)) "full sweep" [ 1; 2; 3; 4; 6; 8; 12; 16 ]
+    (Runner.pin_thread_counts ~max:16)
+
+(* ---------------- Series ---------------- *)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_series_rendering () =
+  let s =
+    Series.create ~title:"T" ~ylabel:"y" ~columns:[ "a"; "b" ] ~note:"shape" ()
+  in
+  Series.add_row s ~label:"1" ~values:[ 1234567.0; 0.5 ];
+  Series.add_row s ~label:"2" ~values:[ 2.0; 3.0 ];
+  let out = Series.to_string s in
+  Alcotest.(check bool) "title present" true (contains out "== T ==");
+  Alcotest.(check bool) "big number abbreviated" true (contains out "1.23M");
+  Alcotest.(check bool) "note present" true (contains out "paper: shape");
+  Alcotest.(check int) "row count" 2 (List.length (Series.rows s))
+
+let test_series_validates () =
+  let s = Series.create ~title:"T" ~ylabel:"y" ~columns:[ "a"; "b" ] () in
+  (try
+     Series.add_row s ~label:"1" ~values:[ 1.0 ];
+     Alcotest.fail "wrong arity accepted"
+   with Invalid_argument _ -> ())
+
+(* ---------------- Locks registry ---------------- *)
+
+let test_lock_registry () =
+  Alcotest.(check int) "five arrbench locks" 5 (List.length Locks.arrbench_locks);
+  Alcotest.(check bool) "lookup hit" true (Locks.find_arrbench_lock "list-rw" <> None);
+  Alcotest.(check bool) "lookup miss" true (Locks.find_arrbench_lock "nope" = None);
+  Alcotest.(check int) "three sets" 3 (List.length Locks.skiplist_sets);
+  Alcotest.(check bool) "set lookup" true (Locks.find_skiplist_set "orig" <> None);
+  (* Names exposed through the modules match the registry labels. *)
+  List.iter
+    (fun (label, (module L : Rlk.Intf.RW)) ->
+       if label = "list-rw" then Alcotest.(check string) "impl name" "list-rw" L.name)
+    Locks.arrbench_locks
+
+(* ---------------- ArrBench: exclusion under every lock ---------------- *)
+
+let arrbench_check_case (label, lock) variant =
+  let name = Printf.sprintf "%s/%s" label (Arrbench.variant_name variant) in
+  Alcotest.test_case name `Quick (fun () ->
+      match
+        Arrbench.self_check ~lock ~variant ~threads:4 ~read_pct:60
+          ~duration_s:0.1
+      with
+      | Ok r -> Alcotest.(check bool) "did work" true (r.Runner.total_ops > 0)
+      | Error msg -> Alcotest.fail msg)
+
+let arrbench_exclusion_tests =
+  List.concat_map
+    (fun lock ->
+       List.map (arrbench_check_case lock)
+         [ Arrbench.Full; Arrbench.Disjoint; Arrbench.Random ])
+    Locks.arrbench_locks
+
+let test_arrbench_variant_names () =
+  List.iter
+    (fun v ->
+       Alcotest.(check bool) "roundtrip" true
+         (Arrbench.variant_of_name (Arrbench.variant_name v) = Some v))
+    [ Arrbench.Full; Arrbench.Disjoint; Arrbench.Random ];
+  Alcotest.(check bool) "unknown" true (Arrbench.variant_of_name "zigzag" = None)
+
+(* ---------------- Metis ---------------- *)
+
+let test_metis_profiles () =
+  Alcotest.(check int) "three profiles" 3 (List.length Metis.profiles);
+  Alcotest.(check bool) "wc found" true (Metis.profile_of_name "wc" = Some Metis.wc);
+  Alcotest.(check bool) "unknown" true (Metis.profile_of_name "sort" = None)
+
+let test_metis_smoke variant () =
+  let r = Metis.run ~variant ~profile:Metis.wc ~threads:2 ~tasks:32 in
+  Alcotest.(check int) "all tasks ran" 32 r.Metis.tasks;
+  Alcotest.(check bool) "runtime positive" true (r.Metis.runtime_s > 0.0);
+  let st = r.Metis.op_stats in
+  Alcotest.(check bool) "faults happened" true (st.Rlk_vm.Sync.faults > 0);
+  Alcotest.(check bool) "mprotects happened" true (st.Rlk_vm.Sync.mprotects > 0)
+
+let test_metis_speculation_dominates () =
+  let r =
+    Metis.run ~variant:Rlk_vm.Sync.List_refined ~profile:Metis.wrmem ~threads:2
+      ~tasks:200
+  in
+  let st = r.Metis.op_stats in
+  let ratio =
+    float_of_int st.Rlk_vm.Sync.spec_success /. float_of_int st.Rlk_vm.Sync.mprotects
+  in
+  if ratio < 0.95 then
+    Alcotest.failf "speculative ratio %.2f below the paper's >99%% claim regime"
+      ratio
+
+let test_metis_wait_stats_populated () =
+  let r =
+    Metis.run ~variant:Rlk_vm.Sync.Tree_full ~profile:Metis.wc ~threads:2
+      ~tasks:32
+  in
+  let w = r.Metis.lock_wait in
+  Alcotest.(check bool) "read acqs recorded" true
+    (w.Rlk_primitives.Lockstat.read_count > 0);
+  let spin = r.Metis.spin_wait in
+  Alcotest.(check bool) "spin lock acqs recorded" true
+    (spin.Rlk_primitives.Lockstat.write_count > 0)
+
+(* ---------------- Migration ---------------- *)
+
+let test_migration_smoke variant () =
+  match
+    Migration.run ~variant ~mutators:2 ~space_pages:256 ~region_pages:16 ()
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok o ->
+    Alcotest.(check int) "all regions copied" 16 o.Migration.regions_copied;
+    Alcotest.(check bool) "guest made progress" true (o.Migration.mutator_faults > 0);
+    Alcotest.(check bool) "time positive" true (o.Migration.migration_s > 0.0)
+
+(* ---------------- Synchro ---------------- *)
+
+let test_synchro_smoke () =
+  let r =
+    Synchro.run ~set:(module Rlk_skiplist.Range_skiplist.Over_list) ~threads:2
+      ~key_range:4_096 ~duration_s:0.05 ()
+  in
+  Alcotest.(check bool) "ops happened" true (r.Runner.total_ops > 0)
+
+let () =
+  Alcotest.run "workloads"
+    [ ("runner",
+       [ Alcotest.test_case "throughput mode" `Quick test_runner_throughput;
+         Alcotest.test_case "fixed-work mode" `Quick test_runner_fixed_work;
+         Alcotest.test_case "validates threads" `Quick test_runner_validation;
+         Alcotest.test_case "thread-count sweep" `Quick test_thread_counts ]);
+      ("series",
+       [ Alcotest.test_case "rendering" `Quick test_series_rendering;
+         Alcotest.test_case "arity validated" `Quick test_series_validates ]);
+      ("locks-registry", [ Alcotest.test_case "registry" `Quick test_lock_registry ]);
+      ("arrbench-exclusion", arrbench_exclusion_tests);
+      ("arrbench",
+       [ Alcotest.test_case "variant names" `Quick test_arrbench_variant_names ]);
+      ("metis",
+       [ Alcotest.test_case "profiles" `Quick test_metis_profiles;
+         Alcotest.test_case "smoke stock" `Quick
+           (test_metis_smoke Rlk_vm.Sync.Stock);
+         Alcotest.test_case "smoke list-refined" `Quick
+           (test_metis_smoke Rlk_vm.Sync.List_refined);
+         Alcotest.test_case "speculation dominates" `Quick
+           test_metis_speculation_dominates;
+         Alcotest.test_case "wait stats populated" `Quick
+           test_metis_wait_stats_populated ]);
+      ("migration",
+       [ Alcotest.test_case "smoke stock" `Quick
+           (test_migration_smoke Rlk_vm.Sync.Stock);
+         Alcotest.test_case "smoke list-refined" `Quick
+           (test_migration_smoke Rlk_vm.Sync.List_refined) ]);
+      ("synchro", [ Alcotest.test_case "smoke" `Quick test_synchro_smoke ]) ]

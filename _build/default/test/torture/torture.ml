@@ -1,0 +1,191 @@
+(* Soak testing: run every concurrency-sensitive component under load for a
+   wall-clock budget, with the same invariant checkers the unit tests use.
+   Unlike `dune runtest` (seconds), this is meant for minutes-to-hours runs:
+
+     dune exec test/torture/torture.exe -- --seconds 120
+
+   Exits non-zero on the first violation. *)
+
+open Rlk_workloads
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let failures = ref 0
+
+let report name ok detail =
+  if ok then say "  PASS %-42s %s" name detail
+  else begin
+    incr failures;
+    say "  FAIL %-42s %s" name detail
+  end
+
+(* ---- lock exclusion soaks ---- *)
+
+let soak_rw_locks seconds =
+  say "-- range-lock exclusion soak (%.0fs per lock) --" seconds;
+  let locks =
+    Locks.arrbench_locks
+    @ [ ("list-rw+fair", Locks.list_rw_fair_impl);
+        ("list-rw+wpref", Locks.list_rw_writer_pref_impl);
+        ("vee-rw", Locks.vee_rw_impl);
+        ("mpi-slots", Locks.slots_mutex_impl);
+        ("gpfs-tokens", Locks.gpfs_tokens_impl) ]
+  in
+  List.iter
+    (fun (name, lock) ->
+       match
+         Arrbench.self_check ~lock ~variant:Arrbench.Random ~threads:4
+           ~read_pct:60 ~duration_s:seconds
+       with
+       | Ok r ->
+         report name true (Printf.sprintf "%d ops" r.Runner.total_ops)
+       | Error msg -> report name false msg)
+    locks
+
+(* ---- VM soak ---- *)
+
+let soak_vm seconds =
+  say "-- VM subsystem soak (%.0fs per variant) --" seconds;
+  List.iter
+    (fun variant ->
+       let sync = Rlk_vm.Sync.create variant in
+       let stop = Atomic.make false in
+       let bad = Atomic.make 0 in
+       let ds =
+         Array.init 4 (fun id ->
+             Domain.spawn (fun () ->
+                 match
+                   Rlk_vm.Glibc_arena.create sync
+                     ~size:(512 * Rlk_vm.Page.size)
+                     ~trim_threshold:(8 * Rlk_vm.Page.size) ()
+                 with
+                 | Error _ -> Atomic.incr bad
+                 | Ok arena ->
+                   let n = ref 0 in
+                   while not (Atomic.get stop) do
+                     incr n;
+                     (match Rlk_vm.Glibc_arena.malloc_touched arena 1024 with
+                      | Ok _ -> ()
+                      | Error _ -> Atomic.incr bad);
+                     if !n mod 50 = 0 then
+                       match Rlk_vm.Glibc_arena.reset arena with
+                       | Ok () -> ()
+                       | Error _ -> Atomic.incr bad
+                   done;
+                   if id = 0 then ignore (Rlk_vm.Sync.brk sync ~new_break:Rlk_vm.Sync.heap_base)))
+       in
+       Unix.sleepf seconds;
+       Atomic.set stop true;
+       Array.iter Domain.join ds;
+       let ok_inv =
+         match Rlk_vm.Mm.check_invariants (Rlk_vm.Sync.mm sync) with
+         | Ok () -> true
+         | Error _ -> false
+       in
+       let st = Rlk_vm.Sync.op_stats sync in
+       report
+         (Rlk_vm.Sync.variant_name variant)
+         (Atomic.get bad = 0 && ok_inv)
+         (Printf.sprintf "%d faults, %d mprotects" st.Rlk_vm.Sync.faults
+            st.Rlk_vm.Sync.mprotects))
+    Rlk_vm.Sync.all_variants
+
+(* ---- data structure soaks ---- *)
+
+let soak_structures seconds =
+  say "-- data-structure soak (%.0fs each) --" seconds;
+  (* Skip lists with per-key transition checking. *)
+  List.iter
+    (fun (name, (module S : Rlk_skiplist.Skiplist_intf.SET)) ->
+       let s = S.create () in
+       let stop = Atomic.make false in
+       let violated = Atomic.make false in
+       let ds =
+         Array.init 4 (fun id ->
+             Domain.spawn (fun () ->
+                 let rng = Rlk_primitives.Prng.create ~seed:(id * 3 + 11) in
+                 let keys = 128 in
+                 let present = Array.make keys false in
+                 let key i = (i * 4) + id in
+                 while not (Atomic.get stop) do
+                   let i = Rlk_primitives.Prng.below rng keys in
+                   if Rlk_primitives.Prng.bool rng ~p:0.5 then begin
+                     if S.add s (key i) <> not present.(i) then
+                       Atomic.set violated true;
+                     present.(i) <- true
+                   end
+                   else begin
+                     if S.remove s (key i) <> present.(i) then
+                       Atomic.set violated true;
+                     present.(i) <- false
+                   end
+                 done))
+       in
+       Unix.sleepf seconds;
+       Atomic.set stop true;
+       Array.iter Domain.join ds;
+       let ok_inv = S.check_invariants s = Ok () in
+       report name ((not (Atomic.get violated)) && ok_inv) "")
+    Locks.skiplist_sets;
+  (* Hash table + BST with a live resizer/compactor. *)
+  let module H = Rlk_structures.Range_hashtable.Make (Rlk.Intf.List_rw_impl) in
+  let h = H.create ~initial_buckets:2 () in
+  let stop = Atomic.make false in
+  let violated = Atomic.make false in
+  let ds =
+    Array.init 4 (fun id ->
+        Domain.spawn (fun () ->
+            let rng = Rlk_primitives.Prng.create ~seed:(id + 77) in
+            let keys = 256 in
+            let present = Array.make keys false in
+            let key i = (i * 4) + id in
+            while not (Atomic.get stop) do
+              let i = Rlk_primitives.Prng.below rng keys in
+              if Rlk_primitives.Prng.bool rng ~p:0.6 then begin
+                H.add h (key i) id;
+                present.(i) <- true
+              end
+              else begin
+                if H.remove h (key i) <> present.(i) then Atomic.set violated true;
+                present.(i) <- false
+              end
+            done))
+  in
+  Unix.sleepf seconds;
+  Atomic.set stop true;
+  Array.iter Domain.join ds;
+  report "range-hashtable"
+    ((not (Atomic.get violated)) && H.check_invariants h = Ok ())
+    (Printf.sprintf "%d resizes" (H.resizes h))
+
+let run seconds =
+  Runner.init ();
+  let per_section = max 0.5 (seconds /. 3.0) in
+  let locks =
+    List.length Locks.arrbench_locks + 5
+    (* extension locks added in soak_rw_locks *)
+  in
+  let per_lock = per_section /. float_of_int locks in
+  soak_rw_locks per_lock;
+  soak_vm (per_section /. float_of_int (List.length Rlk_vm.Sync.all_variants));
+  soak_structures (per_section /. 4.0);
+  if !failures = 0 then begin
+    say "torture: all clear";
+    0
+  end
+  else begin
+    say "torture: %d FAILURES" !failures;
+    1
+  end
+
+open Cmdliner
+
+let cmd =
+  let seconds =
+    Arg.(value & opt float 30.0 & info [ "seconds"; "s" ]
+           ~doc:"Total wall-clock budget, split across sections.")
+  in
+  Cmd.v (Cmd.info "torture" ~doc:"Long-running concurrency soak tests")
+    Term.(const run $ seconds)
+
+let () = exit (Cmd.eval' cmd)
