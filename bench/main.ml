@@ -529,17 +529,99 @@ let ablation cfg =
     st.Rlk_ebr.Pool.fresh_allocations st.Rlk_ebr.Pool.recycled
     st.Rlk_ebr.Pool.barriers st.Rlk_ebr.Pool.trimmed
 
+(* ---------------- Lock health (--json) ---------------- *)
+
+(* When --json FILE is given ("-" = stdout), a lock-health pass runs after
+   the figures: each list lock takes a short contended mix (including timed
+   acquisitions, so the timeout counter is live) with a Lockstat attached,
+   and its internal counters are dumped as one JSON object per lock. *)
+let json_path : string option ref = ref None
+
+let lock_health cfg =
+  let module Prng = Rlk_primitives.Prng in
+  let module Clock = Rlk_primitives.Clock in
+  let module Lockstat = Rlk_primitives.Lockstat in
+  let hammer op =
+    let ds =
+      Array.init 4 (fun i ->
+          Domain.spawn (fun () ->
+              let rng = Prng.create ~seed:(i + 1) in
+              let until =
+                Clock.now_ns () + int_of_float (cfg.duration_s *. 0.5 *. 1e9)
+              in
+              while Clock.now_ns () < until do
+                let lo = Prng.below rng 60 in
+                let r = Rlk.Range.v ~lo ~hi:(lo + 1 + Prng.below rng 4) in
+                op rng r
+              done))
+    in
+    Array.iter Domain.join ds
+  in
+  let row name ~metrics ~wait =
+    Printf.sprintf "  {\"lock\":%S,\"metrics\":%s,\"wait\":%s}" name
+      (Rlk.Metrics.to_json metrics)
+      (Lockstat.to_json wait)
+  in
+  let rw_row =
+    let stats = Lockstat.create "list-rw" in
+    let l = Rlk.List_rw.create ~stats () in
+    hammer (fun rng r ->
+        let pct = Prng.below rng 100 in
+        if pct < 10 then (
+          match
+            Rlk.List_rw.write_acquire_opt l
+              ~deadline_ns:(Clock.now_ns () + 20_000) r
+          with
+          | Some h -> Rlk.List_rw.release l h
+          | None -> ())
+        else if pct < 45 then (
+          let h = Rlk.List_rw.write_acquire l r in
+          Rlk.List_rw.release l h)
+        else
+          let h = Rlk.List_rw.read_acquire l r in
+          Rlk.List_rw.release l h);
+    row "list-rw" ~metrics:(Rlk.List_rw.metrics l)
+      ~wait:(Lockstat.snapshot stats)
+  in
+  let ex_row =
+    let stats = Lockstat.create "list-ex" in
+    let l = Rlk.List_mutex.create ~stats () in
+    hammer (fun rng r ->
+        if Prng.below rng 100 < 10 then (
+          match
+            Rlk.List_mutex.acquire_opt l ~deadline_ns:(Clock.now_ns () + 20_000)
+              r
+          with
+          | Some h -> Rlk.List_mutex.release l h
+          | None -> ())
+        else
+          let h = Rlk.List_mutex.acquire l r in
+          Rlk.List_mutex.release l h);
+    row "list-ex" ~metrics:(Rlk.List_mutex.metrics l)
+      ~wait:(Lockstat.snapshot stats)
+  in
+  let doc = "[\n" ^ rw_row ^ ",\n" ^ ex_row ^ "\n]\n" in
+  match !json_path with
+  | Some "-" -> print_string doc
+  | Some file ->
+    let oc = open_out file in
+    output_string oc doc;
+    close_out oc;
+    say "lock-health JSON written to %s" file
+  | None -> ()
+
 (* ---------------- driver ---------------- *)
 
 let all_figures = [ 3; 4; 5; 6; 7; 8 ]
 
-let run figures quick bechamel_only ablation_only csv =
+let run figures quick bechamel_only ablation_only csv json =
   Runner.init ();
   (match csv with
    | Some dir ->
      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
      csv_dir := Some dir
    | None -> ());
+  json_path := json;
   let cfg = if quick then quick_config else full_config in
   let figures = match figures with [] -> all_figures | fs -> fs in
   say "Scalable Range Locks (EuroSys'20) - benchmark harness";
@@ -563,6 +645,7 @@ let run figures quick bechamel_only ablation_only csv =
     run_bechamel ();
     ablation cfg
   end;
+  if !json_path <> None then lock_health cfg;
   say "";
   say "done."
 
@@ -596,9 +679,17 @@ let csv_arg =
   Arg.(value & opt (some string) None & info [ "csv" ]
          ~doc:"Also write every series to CSV files in this directory.")
 
+let json_arg =
+  Arg.(value & opt (some string) None & info [ "json" ]
+         ~doc:
+           "Run a contended lock-health pass and write its per-lock \
+            metrics/wait counters as JSON to this file (\"-\" = stdout).")
+
 let cmd =
   let term =
-    Term.(const run $ figures_arg $ quick_arg $ bechamel_arg $ ablation_arg $ csv_arg)
+    Term.(
+      const run $ figures_arg $ quick_arg $ bechamel_arg $ ablation_arg
+      $ csv_arg $ json_arg)
   in
   Cmd.v
     (Cmd.info "bench"

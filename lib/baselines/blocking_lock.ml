@@ -35,6 +35,7 @@ module Make (It : INDEX) = struct
     guard : guard;
     tree : data It.t;
     stats : Lockstat.t option;
+    board : Rlk_chaos.Waitboard.t;
   }
 
   type handle = data It.node
@@ -45,7 +46,9 @@ module Make (It : INDEX) = struct
       | Ttas -> Guard_ttas (Spinlock.create ?stats:spin_stats ())
       | Ticket -> Guard_ticket (Ticketlock.create ?stats:spin_stats ())
     in
-    { guard; tree = It.create (); stats }
+    let board = Rlk_chaos.Waitboard.create ~name:"blocking-count" in
+    if Rlk_chaos.Watchdog.auto_watch () then Rlk_chaos.Watchdog.watch board;
+    { guard; tree = It.create (); stats; board }
 
   let guard_acquire t =
     match t.guard with
@@ -77,10 +80,13 @@ module Make (It : INDEX) = struct
     let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in
     let node, blocked = insert_counting t ~reader r in
     if blocked > 0 then begin
+      Rlk_chaos.Waitboard.wait_begin t.board ~lo:(Rlk.Range.lo r)
+        ~hi:(Rlk.Range.hi r) ~write:(not reader);
       let b = Backoff.create () in
       while Atomic.get (It.data node).blocked > 0 do
         Backoff.once b
-      done
+      done;
+      Rlk_chaos.Waitboard.wait_end t.board
     end;
     (match t.stats with
      | None -> ()

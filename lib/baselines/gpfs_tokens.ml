@@ -98,6 +98,63 @@ let acquire t r =
    | Some st -> Lockstat.add st Lockstat.Write (Clock.now_ns () - t0));
   me
 
+(* Non-blocking attempt: the cached-token fast path, else a manager-guarded
+   grant that fails — instead of revoking and waiting — whenever any other
+   slot owns a conflicting token piece. A conflicting critical section is
+   always covered by a conflicting token, so this never waits on one. *)
+let try_acquire t r =
+  let me = Domain_id.get () in
+  let s = t.slots.(me) in
+  (match s.cs with
+   | Some _ ->
+     invalid_arg "Gpfs_tokens.try_acquire: already in a critical section"
+   | None -> ());
+  Spinlock.acquire s.guard;
+  if covers s.owned r then begin
+    s.cs <- Some r;
+    Spinlock.release s.guard;
+    (match t.stats with
+     | None -> ()
+     | Some st -> Lockstat.add st Lockstat.Write 0);
+    Some me
+  end
+  else begin
+    Spinlock.release s.guard;
+    if not (Spinlock.try_acquire t.manager) then None
+    else begin
+      let conflict = ref false in
+      Array.iteri
+        (fun i o ->
+           if i <> me && not !conflict then begin
+             Spinlock.acquire o.guard;
+             if List.exists (fun p -> Range.overlap p r) o.owned then
+               conflict := true;
+             Spinlock.release o.guard
+           end)
+        t.slots;
+      let result =
+        if !conflict then None
+        else begin
+          let everyone_else_empty =
+            Array.for_all (fun o -> o == s || o.owned = []) t.slots
+          in
+          let granted = if everyone_else_empty then Range.full else r in
+          Spinlock.acquire s.guard;
+          s.owned <- insert_normalized s.owned granted;
+          s.cs <- Some r;
+          Spinlock.release s.guard;
+          Padded_counters.incr t.grants me;
+          Some me
+        end
+      in
+      Spinlock.release t.manager;
+      (match result, t.stats with
+       | Some _, Some st -> Lockstat.add st Lockstat.Write 0
+       | _ -> ());
+      result
+    end
+  end
+
 let release t slot_index =
   let s = t.slots.(slot_index) in
   Spinlock.acquire s.guard;

@@ -27,6 +27,11 @@ val acquire : t -> Rlk.Range.t -> handle
     (waiting out their critical sections), grant the requested range
     extended to the whole file where possible. *)
 
+val try_acquire : t -> Rlk.Range.t -> handle option
+(** Non-blocking attempt: succeeds on the cached-token fast path, or via
+    an uncontended manager grant when no other slot owns a conflicting
+    token piece; never waits for a revocation. *)
+
 val release : t -> handle -> unit
 (** Leave the critical section; the token stays cached. *)
 

@@ -42,6 +42,37 @@ let read_acquire t r = acquire t ~reader:true r
 
 let write_acquire t r = acquire t ~reader:false r
 
+(* Non-blocking: claim segments in order, unwinding the acquired prefix if
+   any segment refuses. *)
+let try_acquire t ~reader r =
+  let first, last = segment_span t r in
+  let rec claim i =
+    if i > last then true
+    else if
+      (if reader then Rwlock.try_read_acquire t.locks.(i)
+       else Rwlock.try_write_acquire t.locks.(i))
+    then claim (i + 1)
+    else begin
+      for j = i - 1 downto first do
+        if reader then Rwlock.read_release t.locks.(j)
+        else Rwlock.write_release t.locks.(j)
+      done;
+      false
+    end
+  in
+  if claim first then begin
+    (match t.stats with
+     | None -> ()
+     | Some s ->
+       Lockstat.add s (if reader then Lockstat.Read else Lockstat.Write) 0);
+    Some { first; last; reader }
+  end
+  else None
+
+let try_read_acquire t r = try_acquire t ~reader:true r
+
+let try_write_acquire t r = try_acquire t ~reader:false r
+
 let release t h =
   for i = h.last downto h.first do
     if h.reader then Rwlock.read_release t.locks.(i)
@@ -63,7 +94,7 @@ let with_write t r f =
 let segments t = Array.length t.locks
 
 let impl ~segments ~segment_size : Rlk.Intf.rw_impl =
-  (module struct
+  (module Rlk.Intf.Rw_timed (struct
     type nonrec t = t
 
     type nonrec handle = handle
@@ -76,5 +107,9 @@ let impl ~segments ~segment_size : Rlk.Intf.rw_impl =
 
     let write_acquire = write_acquire
 
+    let try_read_acquire = try_read_acquire
+
+    let try_write_acquire = try_write_acquire
+
     let release = release
-  end)
+  end))

@@ -29,6 +29,12 @@ val read_acquire : t -> Rlk.Range.t -> handle
 
 val write_acquire : t -> Rlk.Range.t -> handle
 
+val try_read_acquire : t -> Rlk.Range.t -> handle option
+(** Non-blocking: claims the covered segments in order, releasing the
+    already-claimed prefix if any segment is busy. *)
+
+val try_write_acquire : t -> Rlk.Range.t -> handle option
+
 val release : t -> handle -> unit
 
 val with_read : t -> Rlk.Range.t -> (unit -> 'a) -> 'a

@@ -16,6 +16,18 @@ let write_acquire t (_ : Rlk.Range.t) =
   Rwsem.down_write t;
   { reader = false }
 
+let try_read_acquire t (_ : Rlk.Range.t) =
+  if Rwsem.try_down_read t then Some { reader = true } else None
+
+let try_write_acquire t (_ : Rlk.Range.t) =
+  if Rwsem.try_down_write t then Some { reader = false } else None
+
+let read_acquire_opt t ~deadline_ns r =
+  Rlk.Intf.timed_poll ~deadline_ns (fun () -> try_read_acquire t r)
+
+let write_acquire_opt t ~deadline_ns r =
+  Rlk.Intf.timed_poll ~deadline_ns (fun () -> try_write_acquire t r)
+
 let release t h = if h.reader then Rwsem.up_read t else Rwsem.up_write t
 
 let with_read t r f =

@@ -14,6 +14,16 @@ val read_acquire : t -> Rlk.Range.t -> handle
 
 val write_acquire : t -> Rlk.Range.t -> handle
 
+val try_read_acquire : t -> Rlk.Range.t -> handle option
+
+val try_write_acquire : t -> Rlk.Range.t -> handle option
+
+val read_acquire_opt : t -> deadline_ns:int -> Rlk.Range.t -> handle option
+(** Derived by polling the try variant under backoff (the semaphore has no
+    native timed wait). *)
+
+val write_acquire_opt : t -> deadline_ns:int -> Rlk.Range.t -> handle option
+
 val release : t -> handle -> unit
 
 val with_read : t -> Rlk.Range.t -> (unit -> 'a) -> 'a

@@ -1,0 +1,184 @@
+open Rlk_primitives
+
+(* A point is registered once per name (module-initialization time in the
+   instrumented code); per-domain-slot PRNG state makes every injection
+   decision a deterministic function of (plan seed, point name, domain
+   slot, decision index) — the property the torture harness relies on to
+   replay a failing schedule from its printed seed. *)
+type point = {
+  name : string;
+  fired : Padded_counters.t;
+  states : Prng.t option array; (* slot-local; written only by the owner *)
+  gens : int array;             (* generation that seeded [states.(slot)] *)
+}
+
+type plan = {
+  seed : int;
+  p : float;
+  relax_spins : int;
+  yield_every : int;
+  delay_ns : int;
+  cas_fail_p : float;
+  unsound : string list;
+  only : string list option;
+}
+
+let plan ?(p = 0.05) ?(relax_spins = 128) ?(yield_every = 8)
+    ?(delay_ns = 50_000) ?(cas_fail_p = 0.05) ?(unsound = []) ?only ~seed () =
+  if p < 0.0 || p > 1.0 || cas_fail_p < 0.0 || cas_fail_p > 1.0 then
+    invalid_arg "Fault.plan: probabilities must be in [0, 1]";
+  { seed; p; relax_spins; yield_every; delay_ns; cas_fail_p; unsound; only }
+
+let enabled = Atomic.make false
+
+let plan_cell : plan option Atomic.t = Atomic.make None
+
+(* Bumped on every (re)arm so slot PRNGs lazily re-seed themselves. *)
+let generation = Atomic.make 0
+
+let registry : (string, point) Hashtbl.t = Hashtbl.create 32
+
+let registry_lock = Mutex.create ()
+
+let point name =
+  Mutex.lock registry_lock;
+  let p =
+    match Hashtbl.find_opt registry name with
+    | Some p -> p
+    | None ->
+      let p =
+        { name;
+          fired = Padded_counters.create ~slots:Domain_id.capacity;
+          states = Array.make Domain_id.capacity None;
+          gens = Array.make Domain_id.capacity (-1) }
+      in
+      Hashtbl.add registry name p;
+      p
+  in
+  Mutex.unlock registry_lock;
+  p
+
+let name p = p.name
+
+let arm plan =
+  Atomic.set plan_cell (Some plan);
+  Atomic.incr generation;
+  Atomic.set enabled true
+
+let disarm () =
+  Atomic.set enabled false;
+  Atomic.set plan_cell None
+
+let armed () = if Atomic.get enabled then Atomic.get plan_cell else None
+
+let is_prefix pre s =
+  String.length pre <= String.length s
+  && String.sub s 0 (String.length pre) = pre
+
+let selected plan pt =
+  match plan.only with
+  | None -> true
+  | Some names -> List.exists (fun n -> is_prefix n pt.name) names
+
+(* Seed mixing: distinct constants per axis so nearby seeds, slots and
+   point names do not produce correlated streams. The generation only
+   decides *when* to re-seed, never the seed itself — re-arming the same
+   plan must reproduce the same schedule. *)
+let rng_for plan pt =
+  let slot = Domain_id.get () in
+  let gen = Atomic.get generation in
+  if pt.gens.(slot) <> gen || pt.states.(slot) = None then begin
+    pt.gens.(slot) <- gen;
+    pt.states.(slot) <-
+      Some
+        (Prng.create
+           ~seed:
+             (plan.seed
+              lxor (Hashtbl.hash pt.name * 0x9e3779b1)
+              lxor (slot * 0x85ebca6b)))
+  end;
+  match pt.states.(slot) with Some r -> r | None -> assert false
+
+let fire pt = Padded_counters.incr pt.fired (Domain_id.get ())
+
+let stall plan rng =
+  if plan.yield_every > 0 && Prng.below rng plan.yield_every = 0 then
+    (* Forced deschedule: lets an oversubscribed peer run, the cheapest
+       way to provoke "holder preempted inside the critical path". *)
+    (try Unix.sleepf 1e-6 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+  else
+    for _ = 1 to plan.relax_spins do
+      Domain.cpu_relax ()
+    done
+
+let hit pt =
+  if Atomic.get enabled then
+    match Atomic.get plan_cell with
+    | None -> ()
+    | Some plan ->
+      if selected plan pt then begin
+        let rng = rng_for plan pt in
+        if Prng.bool rng ~p:plan.p then begin
+          fire pt;
+          stall plan rng
+        end
+      end
+
+let cas_fails pt =
+  if not (Atomic.get enabled) then false
+  else
+    match Atomic.get plan_cell with
+    | None -> false
+    | Some plan ->
+      selected plan pt
+      &&
+      let rng = rng_for plan pt in
+      if Prng.bool rng ~p:plan.cas_fail_p then begin
+        fire pt;
+        true
+      end
+      else false
+
+let delay pt =
+  if Atomic.get enabled then
+    match Atomic.get plan_cell with
+    | None -> ()
+    | Some plan ->
+      if selected plan pt && plan.delay_ns > 0 then begin
+        let rng = rng_for plan pt in
+        if Prng.bool rng ~p:plan.p then begin
+          fire pt;
+          try Unix.sleepf (float_of_int plan.delay_ns *. 1e-9)
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        end
+      end
+
+let skip pt =
+  if not (Atomic.get enabled) then false
+  else
+    match Atomic.get plan_cell with
+    | None -> false
+    | Some plan ->
+      List.mem pt.name plan.unsound
+      &&
+      let rng = rng_for plan pt in
+      if Prng.bool rng ~p:plan.p then begin
+        fire pt;
+        true
+      end
+      else false
+
+let fired pt = Padded_counters.sum pt.fired
+
+let counters () =
+  Mutex.lock registry_lock;
+  let rows =
+    Hashtbl.fold (fun name p acc -> (name, Padded_counters.sum p.fired) :: acc)
+      registry []
+  in
+  Mutex.unlock registry_lock;
+  List.sort compare rows
+
+let total_fired () = List.fold_left (fun acc (_, n) -> acc + n) 0 (counters ())
+
+let registered () = List.map fst (counters ())

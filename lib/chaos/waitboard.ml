@@ -1,0 +1,56 @@
+open Rlk_primitives
+
+(* One slot per domain id. The owner publishes its range metadata with
+   plain stores, then the start timestamp with an Atomic (release) store;
+   a scanner that reads a non-zero [since] therefore sees the matching
+   metadata. Zero means "not waiting". *)
+type slot = {
+  since : int Atomic.t;
+  mutable lo : int;
+  mutable hi : int;
+  mutable write : bool;
+}
+
+type t = { name : string; slots : slot array }
+
+type waiter = {
+  slot : int;
+  lo : int;
+  hi : int;
+  write : bool;
+  waited_ns : int;
+}
+
+let create ~name =
+  { name;
+    slots =
+      Array.init Domain_id.capacity (fun _ ->
+          { since = Atomic.make 0; lo = 0; hi = 0; write = false }) }
+
+let name t = t.name
+
+let wait_begin t ~lo ~hi ~write =
+  let s = t.slots.(Domain_id.get ()) in
+  s.lo <- lo;
+  s.hi <- hi;
+  s.write <- write;
+  Atomic.set s.since (Clock.now_ns ())
+
+let wait_end t = Atomic.set t.slots.(Domain_id.get ()).since 0
+
+let waiters t =
+  let now = Clock.now_ns () in
+  let acc = ref [] in
+  Array.iteri
+    (fun i s ->
+       let since = Atomic.get s.since in
+       if since <> 0 then
+         acc :=
+           { slot = i; lo = s.lo; hi = s.hi; write = s.write;
+             waited_ns = max 0 (now - since) }
+           :: !acc)
+    t.slots;
+  List.rev !acc
+
+let longest_wait_ns t =
+  List.fold_left (fun acc w -> max acc w.waited_ns) 0 (waiters t)

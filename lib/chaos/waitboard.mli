@@ -1,0 +1,36 @@
+(** Per-lock waiter tracking for the starvation watchdog.
+
+    A lock owns one board; a domain entering a wait loop publishes
+    (range, mode, start time) in its {!Rlk_primitives.Domain_id} slot and
+    clears it when the wait ends. Publishing is two plain stores plus one
+    atomic store on the {e wait} path only — the uncontended acquisition
+    path never touches the board. {!Watchdog} scans boards and flags
+    waiters stuck beyond a threshold, together with the range they are
+    blocked on. *)
+
+type t
+
+type waiter = {
+  slot : int;       (** domain slot of the stuck waiter *)
+  lo : int;         (** range being waited for *)
+  hi : int;
+  write : bool;     (** exclusive/write-mode wait *)
+  waited_ns : int;  (** age of the wait at scan time *)
+}
+
+val create : name:string -> t
+
+val name : t -> string
+
+val wait_begin : t -> lo:int -> hi:int -> write:bool -> unit
+(** Publish that the calling domain started waiting for [lo, hi).
+    Nested waits are not supported (a domain waits in one place at a
+    time, which holds for every lock in this repository). *)
+
+val wait_end : t -> unit
+
+val waiters : t -> waiter list
+(** Current waiters, best-effort consistent (safe to call concurrently
+    with [wait_begin]/[wait_end]). *)
+
+val longest_wait_ns : t -> int

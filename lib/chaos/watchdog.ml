@@ -1,0 +1,119 @@
+type stuck = {
+  lock : string;
+  slot : int;
+  lo : int;
+  hi : int;
+  write : bool;
+  waited_ns : int;
+}
+
+type snapshot = {
+  samples : int;
+  flagged : int;
+  worst_wait_ns : int;
+  stuck : stuck list;
+}
+
+(* ---- board registry ---- *)
+
+let boards : Waitboard.t list ref = ref []
+
+let boards_lock = Mutex.create ()
+
+let auto = Atomic.make false
+
+let auto_watch () = Atomic.get auto
+
+let set_auto_watch v = Atomic.set auto v
+
+let watch b =
+  Mutex.lock boards_lock;
+  boards := b :: !boards;
+  Mutex.unlock boards_lock
+
+let clear () =
+  Mutex.lock boards_lock;
+  boards := [];
+  Mutex.unlock boards_lock
+
+let current_boards () =
+  Mutex.lock boards_lock;
+  let bs = !boards in
+  Mutex.unlock boards_lock;
+  bs
+
+let scan ~threshold_ns =
+  List.concat_map
+    (fun b ->
+       List.filter_map
+         (fun (w : Waitboard.waiter) ->
+            if w.waited_ns >= threshold_ns then
+              Some
+                { lock = Waitboard.name b; slot = w.slot; lo = w.lo;
+                  hi = w.hi; write = w.write; waited_ns = w.waited_ns }
+            else None)
+         (Waitboard.waiters b))
+    (current_boards ())
+
+(* ---- the sampling domain ---- *)
+
+type shared = {
+  stop : bool Atomic.t;
+  threshold_ns : int;
+  state : Mutex.t;
+  mutable samples : int;
+  mutable flagged : int;
+  mutable worst_wait_ns : int;
+  mutable last_stuck : stuck list;
+}
+
+type t = { sh : shared; domain : unit Domain.t }
+
+let sample sh =
+  let found = scan ~threshold_ns:sh.threshold_ns in
+  Mutex.lock sh.state;
+  sh.samples <- sh.samples + 1;
+  if found <> [] then begin
+    sh.flagged <- sh.flagged + List.length found;
+    sh.last_stuck <- found;
+    List.iter
+      (fun s ->
+         if s.waited_ns > sh.worst_wait_ns then sh.worst_wait_ns <- s.waited_ns)
+      found
+  end;
+  Mutex.unlock sh.state
+
+let start ?(interval_s = 0.01) ?(threshold_ns = 100_000_000) () =
+  let sh =
+    { stop = Atomic.make false; threshold_ns; state = Mutex.create ();
+      samples = 0; flagged = 0; worst_wait_ns = 0; last_stuck = [] }
+  in
+  let domain =
+    Domain.spawn (fun () ->
+        while not (Atomic.get sh.stop) do
+          sample sh;
+          try Unix.sleepf interval_s
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        done)
+  in
+  { sh; domain }
+
+let snapshot t =
+  Mutex.lock t.sh.state;
+  let s =
+    { samples = t.sh.samples; flagged = t.sh.flagged;
+      worst_wait_ns = t.sh.worst_wait_ns; stuck = t.sh.last_stuck }
+  in
+  Mutex.unlock t.sh.state;
+  s
+
+let stop t =
+  Atomic.set t.sh.stop true;
+  Domain.join t.domain;
+  snapshot t
+
+let pp_stuck ppf s =
+  Format.fprintf ppf "%s slot %d %s [%d, %d) stuck %.1f ms" s.lock s.slot
+    (if s.write then "write" else "read")
+    s.lo s.hi
+    (float_of_int s.waited_ns /. 1e6)

@@ -1,0 +1,53 @@
+(** Starvation watchdog: a sampling domain that scans registered
+    {!Waitboard}s and flags waiters stuck beyond a threshold, with the
+    range they are blocked on.
+
+    Locks register their boards when {!auto_watch} is enabled at
+    creation time (the torture harness turns it on before building its
+    locks), or explicitly via {!watch}. Boards of dead locks linger in
+    the registry until {!clear} — scanning them is harmless (no waiters),
+    but long-lived processes that churn locks should {!clear} between
+    runs. *)
+
+type stuck = {
+  lock : string;     (** name of the lock's waitboard *)
+  slot : int;        (** domain slot of the stuck waiter *)
+  lo : int;          (** the range it is blocked on *)
+  hi : int;
+  write : bool;
+  waited_ns : int;
+}
+
+type snapshot = {
+  samples : int;        (** scans performed *)
+  flagged : int;        (** total stuck-waiter observations *)
+  worst_wait_ns : int;  (** worst age ever flagged *)
+  stuck : stuck list;   (** the most recent non-empty scan result *)
+}
+
+val auto_watch : unit -> bool
+
+val set_auto_watch : bool -> unit
+(** When enabled, locks built afterwards register their waitboards
+    automatically. *)
+
+val watch : Waitboard.t -> unit
+
+val clear : unit -> unit
+(** Empty the board registry. *)
+
+val scan : threshold_ns:int -> stuck list
+(** One-shot scan of all registered boards, no domain needed. *)
+
+type t
+
+val start : ?interval_s:float -> ?threshold_ns:int -> unit -> t
+(** Spawn the sampling domain. Defaults: sample every 10 ms, flag waits
+    of 100 ms or more. *)
+
+val snapshot : t -> snapshot
+
+val stop : t -> snapshot
+(** Stop and join the domain; returns the final snapshot. *)
+
+val pp_stuck : Format.formatter -> stuck -> unit

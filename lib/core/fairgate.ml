@@ -1,4 +1,7 @@
 open Rlk_primitives
+module Fault = Rlk_chaos.Fault
+
+let fp_escalate = Fault.point "fairgate.escalate"
 
 type t = {
   impatient : int Atomic.t;
@@ -32,6 +35,7 @@ let escalate s =
   match s.gate with
   | None -> ()
   | Some g ->
+    if Atomic.get Fault.enabled then Fault.hit fp_escalate;
     (match s.mode with
      | Polite_locked -> Rwlock.read_release g.aux
      | Polite -> ()

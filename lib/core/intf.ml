@@ -1,8 +1,16 @@
 (** Common signatures for range-lock implementations, so benchmarks, the VM
     simulator and the skip list can be instantiated with any of the paper's
-    variants (list-based, tree-based, segment-based) interchangeably. *)
+    variants (list-based, tree-based, segment-based) interchangeably.
 
-module type MUTEX = sig
+    {!MUTEX} and {!RW} include non-blocking ([try_*]) and deadline-bounded
+    ([*_opt]) acquisition. Implementations that only provide the try
+    variants satisfy the reduced {!MUTEX_TRY}/{!RW_TRY} signatures and are
+    lifted for free through {!Mutex_timed}/{!Rw_timed}, which derive the
+    deadline-bounded forms by polling with backoff; the list-based locks
+    implement them natively (cancellation unwinds a partially inserted
+    node by mark-and-retreat). *)
+
+module type MUTEX_TRY = sig
   type t
 
   type handle
@@ -14,10 +22,23 @@ module type MUTEX = sig
 
   val acquire : t -> Range.t -> handle
 
+  val try_acquire : t -> Range.t -> handle option
+  (** One bounded attempt; never waits on a conflicting holder. *)
+
   val release : t -> handle -> unit
 end
 
-module type RW = sig
+module type MUTEX = sig
+  include MUTEX_TRY
+
+  val acquire_opt : t -> deadline_ns:int -> Range.t -> handle option
+  (** Deadline-bounded acquisition. [deadline_ns] is an absolute time on
+      the {!Rlk_primitives.Clock.now_ns} timeline ([max_int] = forever);
+      [None] means the deadline passed with the lock not acquired and no
+      residual state left behind. *)
+end
+
+module type RW_TRY = sig
   type t
 
   type handle
@@ -30,12 +51,63 @@ module type RW = sig
 
   val write_acquire : t -> Range.t -> handle
 
+  val try_read_acquire : t -> Range.t -> handle option
+
+  val try_write_acquire : t -> Range.t -> handle option
+
   val release : t -> handle -> unit
+end
+
+module type RW = sig
+  include RW_TRY
+
+  val read_acquire_opt : t -> deadline_ns:int -> Range.t -> handle option
+
+  val write_acquire_opt : t -> deadline_ns:int -> Range.t -> handle option
 end
 
 type mutex_impl = (module MUTEX)
 
 type rw_impl = (module RW)
+
+(** Poll a try-style acquisition under backoff until it succeeds or the
+    absolute deadline passes — the generic fallback behind {!Mutex_timed}
+    and {!Rw_timed}. *)
+let timed_poll ~deadline_ns f =
+  match f () with
+  | Some _ as h -> h
+  | None ->
+    let b = Rlk_primitives.Backoff.create () in
+    let rec go () =
+      if deadline_ns <> max_int
+         && Rlk_primitives.Clock.now_ns () > deadline_ns
+      then None
+      else begin
+        Rlk_primitives.Backoff.once b;
+        match f () with Some _ as h -> h | None -> go ()
+      end
+    in
+    go ()
+
+(** Derive deadline-bounded acquisition from the try variant. *)
+module Mutex_timed (M : MUTEX_TRY) :
+  MUTEX with type t = M.t and type handle = M.handle = struct
+  include M
+
+  let acquire_opt t ~deadline_ns r =
+    timed_poll ~deadline_ns (fun () -> M.try_acquire t r)
+end
+
+module Rw_timed (M : RW_TRY) :
+  RW with type t = M.t and type handle = M.handle = struct
+  include M
+
+  let read_acquire_opt t ~deadline_ns r =
+    timed_poll ~deadline_ns (fun () -> M.try_read_acquire t r)
+
+  let write_acquire_opt t ~deadline_ns r =
+    timed_poll ~deadline_ns (fun () -> M.try_write_acquire t r)
+end
 
 (** Use an exclusive-only range lock where a reader-writer one is expected:
     both modes acquire exclusively (how [lustre-ex] participates in the
@@ -53,12 +125,21 @@ module Rw_of_mutex (M : MUTEX) : RW = struct
 
   let write_acquire = M.acquire
 
+  let try_read_acquire = M.try_acquire
+
+  let try_write_acquire = M.try_acquire
+
+  let read_acquire_opt = M.acquire_opt
+
+  let write_acquire_opt = M.acquire_opt
+
   let release = M.release
 end
 
 (** The paper's list-based locks packaged against the common signatures
     (default configuration: no fast path, no fairness — as evaluated in
-    Section 7). *)
+    Section 7). Timed acquisition is native (deadline-bounded waits inside
+    the list protocol), not derived from polling. *)
 module List_mutex_impl : MUTEX = struct
   include List_mutex
 

@@ -1,5 +1,12 @@
 open Rlk_primitives
 module Epoch = Rlk_ebr.Epoch
+module Fault = Rlk_chaos.Fault
+module Waitboard = Rlk_chaos.Waitboard
+
+(* Chaos injection points (see doc/robustness.md for the naming scheme). *)
+let fp_insert_cas = Fault.point "list_mutex.insert_cas"
+let fp_overlap_wait = Fault.point "list_mutex.overlap_wait"
+let fp_release = Fault.point "list_mutex.release"
 
 type t = {
   head : Node.link Atomic.t;
@@ -7,6 +14,7 @@ type t = {
   gate : Fairgate.t option;
   stats : Lockstat.t option;
   metrics : Metrics.t;
+  board : Waitboard.t;
 }
 
 type handle = Node.t
@@ -14,20 +22,38 @@ type handle = Node.t
 let name = "list-ex"
 
 let create ?stats ?(fast_path = false) ?fairness () =
+  let board = Waitboard.create ~name in
+  if Rlk_chaos.Watchdog.auto_watch () then Rlk_chaos.Watchdog.watch board;
   { head = Atomic.make Node.nil;
     fast_path;
     gate = Option.map (fun patience -> Fairgate.create ~patience ()) fairness;
     stats;
-    metrics = Metrics.create () }
+    metrics = Metrics.create ();
+    board }
 
 exception Out_of_budget
 exception Would_block
+exception Timed_out
+
+(* Wait (publishing on the waitboard) until [c] is marked deleted; raises
+   [Timed_out] past an absolute deadline ([max_int] = wait forever). *)
+let wait_marked t (node : Node.t) (c : Node.t) ~deadline_ns =
+  Waitboard.wait_begin t.board ~lo:node.Node.lo ~hi:node.Node.hi ~write:true;
+  let b = Backoff.create () in
+  let timed_out = ref false in
+  while (not !timed_out) && not (Atomic.get c.Node.next).Node.marked do
+    if deadline_ns <> max_int && Clock.now_ns () > deadline_ns then
+      timed_out := true
+    else Backoff.once b
+  done;
+  Waitboard.wait_end t.board;
+  if !timed_out then raise Timed_out
 
 (* One insertion attempt (the paper's InsertNode). Runs inside the epoch.
    Raises [Out_of_budget] when the fairness budget is exhausted (the node is
    guaranteed not to be linked at that point) and [Would_block] in
    non-blocking mode instead of waiting on an overlapping holder. *)
-let try_insert t session node failures ~blocking =
+let try_insert t session node failures ~blocking ~deadline_ns =
   let fail_event () =
     incr failures;
     if Fairgate.failures_exceeded session ~failures:!failures then
@@ -70,15 +96,16 @@ let try_insert t session node failures ~blocking =
           (* Overlap: wait until cur's owner marks it deleted. *)
           Metrics.overlap_wait t.metrics;
           if not blocking then raise Would_block;
-          let b = Backoff.create () in
-          while not (Atomic.get cur.Node.next).Node.marked do
-            Backoff.once b
-          done;
+          if Atomic.get Fault.enabled then Fault.hit fp_overlap_wait;
+          wait_marked t node cur ~deadline_ns;
           traverse prev
         end
   and insert_here prev expected succ =
+    if Atomic.get Fault.enabled then Fault.hit fp_insert_cas;
     Atomic.set node.Node.next (Node.link ~marked:false succ);
-    if Atomic.compare_and_set prev expected (Node.link ~marked:false (Some node))
+    if (not (Atomic.get Fault.enabled && Fault.cas_fails fp_insert_cas))
+       && Atomic.compare_and_set prev expected
+            (Node.link ~marked:false (Some node))
     then ()
     else begin
       Metrics.cas_failure t.metrics;
@@ -88,11 +115,11 @@ let try_insert t session node failures ~blocking =
   in
   from_head ()
 
-let insert t session node ~blocking =
+let insert t session node ~blocking ~deadline_ns =
   let failures = ref 0 in
   let rec attempt () =
     Epoch.enter Node.epoch;
-    match try_insert t session node failures ~blocking with
+    match try_insert t session node failures ~blocking ~deadline_ns with
     | () -> Epoch.leave Node.epoch; true
     | exception Out_of_budget ->
       Epoch.leave Node.epoch;
@@ -117,7 +144,7 @@ let acquire t r =
   let session = Fairgate.start t.gate in
   let node = Node.alloc ~reader:false r in
   if fast_path_acquire t node then Metrics.fast_path_hit t.metrics
-  else ignore (insert t session node ~blocking:true);
+  else ignore (insert t session node ~blocking:true ~deadline_ns:max_int);
   Fairgate.finish session;
   Metrics.acquisition t.metrics;
   (match t.stats with
@@ -133,13 +160,46 @@ let try_acquire t r =
     Metrics.acquisition t.metrics;
     Some node
   end
-  else if insert t session node ~blocking:false then begin
+  else if insert t session node ~blocking:false ~deadline_ns:max_int then begin
     Metrics.acquisition t.metrics;
     Some node
   end
   else begin
     (* The node never made it into the list; recycle it directly. *)
     Node.retire node;
+    None
+  end
+
+let acquire_opt t ~deadline_ns r =
+  let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in
+  (* No fairness escalation: the impatient path takes the aux lock for an
+     unbounded time, which a deadline cannot honour. *)
+  let session = Fairgate.start None in
+  let node = Node.alloc ~reader:false r in
+  let acquired =
+    if fast_path_acquire t node then begin
+      Metrics.fast_path_hit t.metrics;
+      true
+    end
+    else
+      match insert t session node ~blocking:true ~deadline_ns with
+      | ok -> ok
+      | exception Timed_out ->
+        (* [Timed_out] is only raised while waiting on an overlapping
+           holder, before our node is linked: recycle it directly. *)
+        Node.retire node;
+        false
+  in
+  Fairgate.finish session;
+  if acquired then begin
+    Metrics.acquisition t.metrics;
+    (match t.stats with
+     | None -> ()
+     | Some s -> Lockstat.add s Lockstat.Write (Clock.now_ns () - t0));
+    Some node
+  end
+  else begin
+    Metrics.timeout t.metrics;
     None
   end
 
@@ -153,6 +213,7 @@ let mark_deleted node =
   go ()
 
 let release t node =
+  if Atomic.get Fault.enabled then Fault.delay fp_release;
   if t.fast_path then begin
     let l = Atomic.get t.head in
     if l.Node.marked && Node.succ_is l node

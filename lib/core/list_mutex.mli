@@ -37,6 +37,14 @@ val try_acquire : t -> Range.t -> handle option
 (** One bounded attempt: fails (returning [None]) instead of waiting on an
     overlapping holder. *)
 
+val acquire_opt : t -> deadline_ns:int -> Range.t -> handle option
+(** Deadline-bounded acquisition: behaves like {!acquire}, but waits on
+    overlapping holders only until the absolute deadline (nanoseconds on
+    the {!Rlk_primitives.Clock.now_ns} timeline; [max_int] = forever).
+    Returns [None] on timeout, with the partially inserted node correctly
+    unwound. Fairness escalation is not used on this path — the impatient
+    mode's auxiliary lock cannot honour a deadline. *)
+
 val release : t -> handle -> unit
 (** Release an acquired range. With a native fetch-and-add this is
     wait-free in the paper; here it is a lock-free CAS loop (see

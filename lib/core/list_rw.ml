@@ -1,5 +1,18 @@
 open Rlk_primitives
 module Epoch = Rlk_ebr.Epoch
+module Fault = Rlk_chaos.Fault
+module Waitboard = Rlk_chaos.Waitboard
+
+(* Chaos injection points (see doc/robustness.md). The [.skip] points are
+   deliberately unsound — they disable a validation scan, breaking
+   reader/writer exclusion detectably — and fire only when a chaos plan
+   lists them as unsound (the torture harness's catch-a-real-bug test). *)
+let fp_insert_cas = Fault.point "list_rw.insert_cas"
+let fp_overlap_wait = Fault.point "list_rw.overlap_wait"
+let fp_release = Fault.point "list_rw.release"
+let fp_r_validate_skip = Fault.point "list_rw.r_validate.skip"
+let fp_w_validate_skip = Fault.point "list_rw.w_validate.skip"
+let fp_conflict_wait_skip = Fault.point "list_rw.conflict_wait.skip"
 
 type preference = Prefer_readers | Prefer_writers
 
@@ -10,6 +23,7 @@ type t = {
   gate : Fairgate.t option;
   stats : Lockstat.t option;
   metrics : Metrics.t;
+  board : Waitboard.t;
 }
 
 type handle = Node.t
@@ -17,16 +31,20 @@ type handle = Node.t
 let name = "list-rw"
 
 let create ?stats ?(fast_path = false) ?fairness ?(prefer = Prefer_readers) () =
+  let board = Waitboard.create ~name in
+  if Rlk_chaos.Watchdog.auto_watch () then Rlk_chaos.Watchdog.watch board;
   { head = Atomic.make Node.nil;
     fast_path;
     prefer;
     gate = Option.map (fun patience -> Fairgate.create ~patience ()) fairness;
     stats;
-    metrics = Metrics.create () }
+    metrics = Metrics.create ();
+    board }
 
 exception Out_of_budget
 exception Would_block
 exception Validation_failed
+exception Timed_out
 
 (* The paper's reader-writer [compare] (Listing 2): position of [node]
    relative to [cur]. Overlapping readers order by start. *)
@@ -58,20 +76,30 @@ let try_unlink prev c next_succ =
      && Atomic.compare_and_set prev expected (Node.link ~marked:false next_succ)
   then Node.retire c
 
-let wait_until_marked t c ~blocking =
+let wait_until_marked t ~(node : Node.t) c ~blocking ~deadline_ns =
   Metrics.overlap_wait t.metrics;
   if not blocking then raise Would_block;
+  if Atomic.get Fault.enabled then Fault.hit fp_overlap_wait;
+  Waitboard.wait_begin t.board ~lo:node.Node.lo ~hi:node.Node.hi
+    ~write:(not node.Node.reader);
   let b = Backoff.create () in
-  while not (Atomic.get c.Node.next).Node.marked do
-    Backoff.once b
-  done
+  let timed_out = ref false in
+  while (not !timed_out) && not (Atomic.get c.Node.next).Node.marked do
+    if deadline_ns <> max_int && Clock.now_ns () > deadline_ns then
+      timed_out := true
+    else Backoff.once b
+  done;
+  Waitboard.wait_end t.board;
+  if !timed_out then raise Timed_out
 
 (* Reader validation (Listing 3, [r_validate]): scan forward from our node
    until ranges start at or past our end. With the paper's default reader
    preference we wait out overlapping writers; with the reversed scheme
    (Section 4.2's last remark) the reader defers — it deletes itself and
    fails validation, and the writer waits instead. *)
-let r_validate t node ~blocking =
+let r_validate t node ~blocking ~deadline_ns =
+  if Atomic.get Fault.enabled && Fault.skip fp_r_validate_skip then ()
+  else
   let rec go prev cur =
     match cur with
     | None -> ()
@@ -86,7 +114,7 @@ let r_validate t node ~blocking =
         else if c.Node.reader then go c.Node.next cl.Node.succ
         else if blocking && t.prefer = Prefer_readers then begin
           (* Overlapping writer: it entered before us, defer to it. *)
-          wait_until_marked t c ~blocking;
+          wait_until_marked t ~node c ~blocking ~deadline_ns;
           go prev (Some c)
         end
         else begin
@@ -103,7 +131,9 @@ let r_validate t node ~blocking =
    we meet our own node. Under reader preference, meeting an overlapping
    (necessarily reader) node first means we delete ourselves and fail;
    under writer preference, we wait for that reader to leave instead. *)
-let w_validate t node ~blocking =
+let w_validate t node ~blocking ~deadline_ns =
+  if Atomic.get Fault.enabled && Fault.skip fp_w_validate_skip then ()
+  else
   let rec go prev cur =
     match cur with
     | None ->
@@ -121,7 +151,7 @@ let w_validate t node ~blocking =
         else if blocking && t.prefer = Prefer_writers then begin
           (* Overlapping reader: under writer preference the reader will
              self-abort (or finish); wait until its node is marked. *)
-          wait_until_marked t c ~blocking;
+          wait_until_marked t ~node c ~blocking ~deadline_ns;
           go prev (Some c)
         end
         else begin
@@ -133,8 +163,10 @@ let w_validate t node ~blocking =
   let l = Atomic.get t.head in
   go t.head l.Node.succ
 
-(* One insertion-plus-validation attempt; runs inside the epoch. *)
-let try_insert t session node failures ~blocking =
+(* One insertion-plus-validation attempt; runs inside the epoch. [linked]
+   is set once the insertion CAS succeeds, so a timed-out caller knows
+   whether to mark-and-retreat (linked) or recycle directly (not). *)
+let try_insert t session node failures ~blocking ~deadline_ns ~linked =
   let fail_event () =
     incr failures;
     if Fairgate.failures_exceeded session ~failures:!failures then
@@ -170,15 +202,31 @@ let try_insert t session node failures ~blocking =
           | Node_precedes -> insert_here prev l (Some cur)
           | Cur_precedes -> traverse cur.Node.next
           | Conflict ->
-            wait_until_marked t cur ~blocking;
-            traverse prev
+            (* Unsound skip: walk past the conflicting holder as if
+               compatible. The validation scan would normally repair
+               this, so a detectable violation needs the matching
+               validation skip armed too. *)
+            if Atomic.get Fault.enabled && Fault.skip fp_conflict_wait_skip
+            then traverse cur.Node.next
+            else begin
+              wait_until_marked t ~node cur ~blocking ~deadline_ns;
+              traverse prev
+            end
         end
   and insert_here prev expected succ =
+    (* A stall here widens the window between choosing the insertion point
+       and publishing the node — the exact race the validation scans
+       exist to repair. *)
+    if Atomic.get Fault.enabled then Fault.hit fp_insert_cas;
     Atomic.set node.Node.next (Node.link ~marked:false succ);
-    if Atomic.compare_and_set prev expected (Node.link ~marked:false (Some node))
-    then
-      if node.Node.reader then r_validate t node ~blocking
-      else w_validate t node ~blocking
+    if (not (Atomic.get Fault.enabled && Fault.cas_fails fp_insert_cas))
+       && Atomic.compare_and_set prev expected
+            (Node.link ~marked:false (Some node))
+    then begin
+      linked := true;
+      if node.Node.reader then r_validate t node ~blocking ~deadline_ns
+      else w_validate t node ~blocking ~deadline_ns
+    end
     else begin
       Metrics.cas_failure t.metrics;
       fail_event ();
@@ -207,7 +255,10 @@ let acquire_blocking t session ~reader r =
     end
     else begin
       Epoch.enter Node.epoch;
-      match try_insert t session node failures ~blocking:true with
+      match
+        try_insert t session node failures ~blocking:true
+          ~deadline_ns:max_int ~linked:(ref false)
+      with
       | () -> Epoch.leave Node.epoch; node
       | exception Validation_failed ->
         Epoch.leave Node.epoch;
@@ -255,7 +306,10 @@ let try_acquire_nb t ~reader r =
   end
   else begin
     Epoch.enter Node.epoch;
-    match try_insert t session node (ref 0) ~blocking:false with
+    match
+      try_insert t session node (ref 0) ~blocking:false ~deadline_ns:max_int
+        ~linked:(ref false)
+    with
     | () ->
       Epoch.leave Node.epoch;
       Metrics.acquisition t.metrics;
@@ -276,7 +330,60 @@ let try_read_acquire t r = try_acquire_nb t ~reader:true r
 
 let try_write_acquire t r = try_acquire_nb t ~reader:false r
 
+(* Deadline-bounded acquisition. Validation failures retry with a fresh
+   node (as in the blocking path) while the deadline allows; [Timed_out]
+   unwinds by mark-and-retreat when the node is linked — exactly the
+   release mechanism — and by direct recycling when it never was. No
+   fairness escalation: the impatient mode's auxiliary lock cannot honour
+   a deadline. *)
+let acquire_opt t ~mode ~deadline_ns r =
+  let reader = match mode with Lockstat.Read -> true | Lockstat.Write -> false in
+  let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in
+  let session = Fairgate.start None in
+  let rec attempt node =
+    if fast_path_acquire t node then begin
+      Metrics.fast_path_hit t.metrics;
+      Some node
+    end
+    else begin
+      let linked = ref false in
+      Epoch.enter Node.epoch;
+      match
+        try_insert t session node (ref 0) ~blocking:true ~deadline_ns ~linked
+      with
+      | () -> Epoch.leave Node.epoch; Some node
+      | exception Validation_failed ->
+        Epoch.leave Node.epoch;
+        (* Our node is already marked; retry with a fresh one unless the
+           deadline has passed. *)
+        if deadline_ns <> max_int && Clock.now_ns () > deadline_ns then None
+        else attempt (Node.alloc ~reader r)
+      | exception Timed_out ->
+        Epoch.leave Node.epoch;
+        if !linked then mark_deleted node else Node.retire node;
+        None
+      | exception e -> Epoch.leave Node.epoch; raise e
+    end
+  in
+  let result = attempt (Node.alloc ~reader r) in
+  Fairgate.finish session;
+  (match result with
+   | Some _ ->
+     Metrics.acquisition t.metrics;
+     (match t.stats with
+      | None -> ()
+      | Some s -> Lockstat.add s mode (Clock.now_ns () - t0))
+   | None -> Metrics.timeout t.metrics);
+  result
+
+let read_acquire_opt t ~deadline_ns r =
+  acquire_opt t ~mode:Lockstat.Read ~deadline_ns r
+
+let write_acquire_opt t ~deadline_ns r =
+  acquire_opt t ~mode:Lockstat.Write ~deadline_ns r
+
 let release t node =
+  if Atomic.get Fault.enabled then Fault.delay fp_release;
   if t.fast_path then begin
     let l = Atomic.get t.head in
     if l.Node.marked && Node.succ_is l node

@@ -48,6 +48,19 @@ val try_read_acquire : t -> Range.t -> handle option
 
 val try_write_acquire : t -> Range.t -> handle option
 
+val acquire_opt :
+  t -> mode:Rlk_primitives.Lockstat.mode -> deadline_ns:int -> Range.t ->
+  handle option
+(** Deadline-bounded acquisition ([deadline_ns] is absolute on the
+    {!Rlk_primitives.Clock.now_ns} timeline; [max_int] = forever). On
+    timeout the partially inserted node is unwound — marked deleted if the
+    insertion CAS had succeeded (mark-and-retreat, the release mechanism),
+    recycled directly otherwise — and [None] is returned. *)
+
+val read_acquire_opt : t -> deadline_ns:int -> Range.t -> handle option
+
+val write_acquire_opt : t -> deadline_ns:int -> Range.t -> handle option
+
 val release : t -> handle -> unit
 
 val with_read : t -> Range.t -> (unit -> 'a) -> 'a

@@ -8,6 +8,7 @@ type t = {
   overlap_waits : Padded_counters.t;
   validation_failures : Padded_counters.t;
   escalations : Padded_counters.t;
+  timeouts : Padded_counters.t;
 }
 
 type snapshot = {
@@ -18,12 +19,14 @@ type snapshot = {
   overlap_waits : int;
   validation_failures : int;
   escalations : int;
+  timeouts : int;
 }
 
 let create () =
   let c () = Padded_counters.create ~slots:Domain_id.capacity in
   { acquisitions = c (); fast_path = c (); restarts = c (); cas_failures = c ();
-    overlap_waits = c (); validation_failures = c (); escalations = c () }
+    overlap_waits = c (); validation_failures = c (); escalations = c ();
+    timeouts = c () }
 
 let bump c = Padded_counters.incr c (Domain_id.get ())
 
@@ -34,6 +37,7 @@ let cas_failure (t : t) = bump t.cas_failures
 let overlap_wait (t : t) = bump t.overlap_waits
 let validation_failure (t : t) = bump t.validation_failures
 let escalation (t : t) = bump t.escalations
+let timeout (t : t) = bump t.timeouts
 
 let snapshot (t : t) : snapshot =
   { acquisitions = Padded_counters.sum t.acquisitions;
@@ -42,7 +46,8 @@ let snapshot (t : t) : snapshot =
     cas_failures = Padded_counters.sum t.cas_failures;
     overlap_waits = Padded_counters.sum t.overlap_waits;
     validation_failures = Padded_counters.sum t.validation_failures;
-    escalations = Padded_counters.sum t.escalations }
+    escalations = Padded_counters.sum t.escalations;
+    timeouts = Padded_counters.sum t.timeouts }
 
 let reset (t : t) =
   Padded_counters.reset t.acquisitions;
@@ -51,10 +56,20 @@ let reset (t : t) =
   Padded_counters.reset t.cas_failures;
   Padded_counters.reset t.overlap_waits;
   Padded_counters.reset t.validation_failures;
-  Padded_counters.reset t.escalations
+  Padded_counters.reset t.escalations;
+  Padded_counters.reset t.timeouts
 
 let pp_snapshot ppf s =
   Format.fprintf ppf
-    "acq=%d fast=%d restarts=%d cas-fail=%d waits=%d val-fail=%d escalations=%d"
+    "acq=%d fast=%d restarts=%d cas-fail=%d waits=%d val-fail=%d \
+     escalations=%d timeouts=%d"
     s.acquisitions s.fast_path_hits s.restarts s.cas_failures s.overlap_waits
-    s.validation_failures s.escalations
+    s.validation_failures s.escalations s.timeouts
+
+let to_json s =
+  Printf.sprintf
+    "{\"acquisitions\":%d,\"fast_path_hits\":%d,\"restarts\":%d,\
+     \"cas_failures\":%d,\"overlap_waits\":%d,\"validation_failures\":%d,\
+     \"escalations\":%d,\"timeouts\":%d}"
+    s.acquisitions s.fast_path_hits s.restarts s.cas_failures s.overlap_waits
+    s.validation_failures s.escalations s.timeouts

@@ -13,6 +13,7 @@ type snapshot = {
   overlap_waits : int;  (** times a thread waited on an overlapping range *)
   validation_failures : int; (** writer validation restarts (RW variant) *)
   escalations : int;    (** fairness-gate escalations to impatient mode *)
+  timeouts : int;       (** timed acquisitions that hit their deadline *)
 }
 
 val create : unit -> t
@@ -24,7 +25,11 @@ val cas_failure : t -> unit
 val overlap_wait : t -> unit
 val validation_failure : t -> unit
 val escalation : t -> unit
+val timeout : t -> unit
 
 val snapshot : t -> snapshot
 val reset : t -> unit
 val pp_snapshot : Format.formatter -> snapshot -> unit
+
+val to_json : snapshot -> string
+(** One flat JSON object, for the benchmark harness's [--json] output. *)

@@ -1,4 +1,11 @@
 open Rlk_primitives
+module Fault = Rlk_chaos.Fault
+
+(* Chaos injection points: [delay] on [leave] keeps an epoch odd a little
+   longer (stretching grace periods); [hit] on [barrier] perturbs the
+   scanning side. *)
+let fp_leave = Fault.point "ebr.epoch.leave"
+let fp_barrier = Fault.point "ebr.barrier"
 
 (* One atomic counter per domain slot. Padding between slots is achieved by
    allocating each Atomic.t separately (boxed), which is sufficient here:
@@ -22,11 +29,13 @@ let leave t =
   let c = my_cell t in
   let e = Atomic.get c in
   assert (e land 1 = 1);
+  if Atomic.get Fault.enabled then Fault.delay fp_leave;
   Atomic.set c (e + 1)
 
 let inside t = Atomic.get (my_cell t) land 1 = 1
 
 let barrier t =
+  if Atomic.get Fault.enabled then Fault.hit fp_barrier;
   let self = Domain_id.get () in
   for i = 0 to Array.length t.epochs - 1 do
     if i <> self then begin

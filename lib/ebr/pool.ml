@@ -1,4 +1,10 @@
 open Rlk_primitives
+module Fault = Rlk_chaos.Fault
+
+(* Deliberately-unsound point: skipping the barrier recycles nodes while
+   readers may still hold references — only fires when a chaos plan lists
+   it as unsound (torture's catch-a-real-bug self test). *)
+let fp_barrier_skip = Fault.point "ebr.barrier.skip"
 
 type 'a local = {
   mutable active : 'a list;
@@ -46,7 +52,8 @@ let epoch t = t.ep
    [target/2, 2*target] as the paper prescribes. *)
 let refill t local =
   let me = Domain_id.get () in
-  Epoch.barrier t.ep;
+  if not (Atomic.get Fault.enabled && Fault.skip fp_barrier_skip) then
+    Epoch.barrier t.ep;
   Padded_counters.incr t.barriers me;
   let a, alen = local.reclaimed, local.reclaimed_len in
   local.reclaimed <- [];

@@ -87,6 +87,13 @@ let max_wait_ns s = function
   | Read -> s.read_max_ns
   | Write -> s.write_max_ns
 
+let to_json s =
+  Printf.sprintf
+    "{\"read_wait_ns\":%d,\"read_count\":%d,\"read_max_ns\":%d,\
+     \"write_wait_ns\":%d,\"write_count\":%d,\"write_max_ns\":%d}"
+    s.read_wait_ns s.read_count s.read_max_ns s.write_wait_ns s.write_count
+    s.write_max_ns
+
 let pp_snapshot ppf s =
   Format.fprintf ppf
     "read: %d acq, %.0f ns avg wait (max %d); write: %d acq, %.0f ns avg \

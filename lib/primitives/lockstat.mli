@@ -41,3 +41,6 @@ val max_wait_ns : snapshot -> mode -> int
 (** Worst single wait observed in the given mode. *)
 
 val pp_snapshot : Format.formatter -> snapshot -> unit
+
+val to_json : snapshot -> string
+(** One flat JSON object, for the benchmark harness's [--json] output. *)

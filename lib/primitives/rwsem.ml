@@ -49,6 +49,14 @@ let down_read t =
     record t Lockstat.Read t0
   end
 
+let try_down_read t =
+  Mutex.lock t.m;
+  let ok = (not t.writer) && t.writers_waiting = 0 in
+  if ok then t.readers <- t.readers + 1;
+  Mutex.unlock t.m;
+  if ok then record t Lockstat.Read 0;
+  ok
+
 let up_read t =
   Mutex.lock t.m;
   t.readers <- t.readers - 1;
@@ -74,6 +82,14 @@ let down_write t =
     Mutex.unlock t.m;
     record t Lockstat.Write t0
   end
+
+let try_down_write t =
+  Mutex.lock t.m;
+  let ok = (not t.writer) && t.readers = 0 in
+  if ok then t.writer <- true;
+  Mutex.unlock t.m;
+  if ok then record t Lockstat.Write 0;
+  ok
 
 let up_write t =
   Mutex.lock t.m;

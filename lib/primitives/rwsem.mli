@@ -17,5 +17,12 @@ val up_read : t -> unit
 val down_write : t -> unit
 val up_write : t -> unit
 
+val try_down_read : t -> bool
+(** Non-blocking read acquisition; respects writer preference (fails if a
+    writer holds or waits). *)
+
+val try_down_write : t -> bool
+(** Non-blocking write acquisition. *)
+
 val with_read : t -> (unit -> 'a) -> 'a
 val with_write : t -> (unit -> 'a) -> 'a

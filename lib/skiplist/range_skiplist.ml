@@ -157,7 +157,7 @@ module Over_list = struct
   let name = "range-list"
 end
 
-module Lustre_as_mutex = struct
+module Lustre_as_mutex = Rlk.Intf.Mutex_timed (struct
   type t = Rlk_baselines.Tree_mutex.t
 
   type handle = Rlk_baselines.Tree_mutex.handle
@@ -168,8 +168,10 @@ module Lustre_as_mutex = struct
 
   let acquire = Rlk_baselines.Tree_mutex.acquire
 
+  let try_acquire = Rlk_baselines.Tree_mutex.try_acquire
+
   let release = Rlk_baselines.Tree_mutex.release
-end
+end)
 
 module Over_lustre = struct
   include Make (Lustre_as_mutex)

@@ -1,20 +1,23 @@
-module Lustre_rw = Rlk.Intf.Rw_of_mutex (struct
-  type t = Rlk_baselines.Tree_mutex.t
+module Lustre_rw =
+  Rlk.Intf.Rw_of_mutex (Rlk.Intf.Mutex_timed (struct
+    type t = Rlk_baselines.Tree_mutex.t
 
-  type handle = Rlk_baselines.Tree_mutex.handle
+    type handle = Rlk_baselines.Tree_mutex.handle
 
-  let name = Rlk_baselines.Tree_mutex.name
+    let name = Rlk_baselines.Tree_mutex.name
 
-  let create ?stats () = Rlk_baselines.Tree_mutex.create ?stats ()
+    let create ?stats () = Rlk_baselines.Tree_mutex.create ?stats ()
 
-  let acquire = Rlk_baselines.Tree_mutex.acquire
+    let acquire = Rlk_baselines.Tree_mutex.acquire
 
-  let release = Rlk_baselines.Tree_mutex.release
-end)
+    let try_acquire = Rlk_baselines.Tree_mutex.try_acquire
+
+    let release = Rlk_baselines.Tree_mutex.release
+  end))
 
 module List_ex_rw = Rlk.Intf.Rw_of_mutex (Rlk.Intf.List_mutex_impl)
 
-module Kernel_rw : Rlk.Intf.RW = struct
+module Kernel_rw : Rlk.Intf.RW = Rlk.Intf.Rw_timed (struct
   type t = Rlk_baselines.Tree_rw.t
 
   type handle = Rlk_baselines.Tree_rw.handle
@@ -27,8 +30,12 @@ module Kernel_rw : Rlk.Intf.RW = struct
 
   let write_acquire = Rlk_baselines.Tree_rw.write_acquire
 
+  let try_read_acquire = Rlk_baselines.Tree_rw.try_read_acquire
+
+  let try_write_acquire = Rlk_baselines.Tree_rw.try_write_acquire
+
   let release = Rlk_baselines.Tree_rw.release
-end
+end)
 
 let arrbench_locks : (string * Rlk.Intf.rw_impl) list =
   [ ("list-ex", (module List_ex_rw));
@@ -78,52 +85,58 @@ end
 
 let list_rw_writer_pref_impl : Rlk.Intf.rw_impl = (module List_rw_wpref)
 
-module Kernel_rw_ticket : Rlk.Intf.RW = struct
+module Kernel_rw_ticket : Rlk.Intf.RW = Rlk.Intf.Rw_timed (struct
   include Rlk_baselines.Tree_rw
 
   let name = "kernel-rw+ticket"
 
   let create ?stats () = create ?stats ~guard:Rlk_baselines.Tree_lock.Ticket ()
-end
+end)
 
 let kernel_rw_ticket_impl : Rlk.Intf.rw_impl = (module Kernel_rw_ticket)
 
-module Slots_rw = Rlk.Intf.Rw_of_mutex (struct
-  type t = Rlk_baselines.Slots_mutex.t
+module Slots_rw =
+  Rlk.Intf.Rw_of_mutex (Rlk.Intf.Mutex_timed (struct
+    type t = Rlk_baselines.Slots_mutex.t
 
-  type handle = Rlk_baselines.Slots_mutex.handle
+    type handle = Rlk_baselines.Slots_mutex.handle
 
-  let name = Rlk_baselines.Slots_mutex.name
+    let name = Rlk_baselines.Slots_mutex.name
 
-  let create ?stats () = Rlk_baselines.Slots_mutex.create ?stats ()
+    let create ?stats () = Rlk_baselines.Slots_mutex.create ?stats ()
 
-  let acquire = Rlk_baselines.Slots_mutex.acquire
+    let acquire = Rlk_baselines.Slots_mutex.acquire
 
-  let release = Rlk_baselines.Slots_mutex.release
-end)
+    let try_acquire = Rlk_baselines.Slots_mutex.try_acquire
+
+    let release = Rlk_baselines.Slots_mutex.release
+  end))
 
 let slots_mutex_impl : Rlk.Intf.rw_impl = (module Slots_rw)
 
-module Vee_rw_impl : Rlk.Intf.RW = struct
+module Vee_rw_impl : Rlk.Intf.RW = Rlk.Intf.Rw_timed (struct
   include Rlk_baselines.Vee_rw
 
   let create ?stats () = create ?stats ()
-end
+end)
 
 let vee_rw_impl : Rlk.Intf.rw_impl = (module Vee_rw_impl)
 
-module Gpfs_rw = Rlk.Intf.Rw_of_mutex (struct
-  type t = Rlk_baselines.Gpfs_tokens.t
+module Gpfs_rw =
+  Rlk.Intf.Rw_of_mutex (Rlk.Intf.Mutex_timed (struct
+    type t = Rlk_baselines.Gpfs_tokens.t
 
-  type handle = Rlk_baselines.Gpfs_tokens.handle
+    type handle = Rlk_baselines.Gpfs_tokens.handle
 
-  let name = Rlk_baselines.Gpfs_tokens.name
+    let name = Rlk_baselines.Gpfs_tokens.name
 
-  let create ?stats () = Rlk_baselines.Gpfs_tokens.create ?stats ()
+    let create ?stats () = Rlk_baselines.Gpfs_tokens.create ?stats ()
 
-  let acquire = Rlk_baselines.Gpfs_tokens.acquire
+    let acquire = Rlk_baselines.Gpfs_tokens.acquire
 
-  let release = Rlk_baselines.Gpfs_tokens.release
-end)
+    let try_acquire = Rlk_baselines.Gpfs_tokens.try_acquire
+
+    let release = Rlk_baselines.Gpfs_tokens.release
+  end))
 
 let gpfs_tokens_impl : Rlk.Intf.rw_impl = (module Gpfs_rw)

@@ -48,7 +48,7 @@ let make_rw_checker ~slots =
 
 (* Run a mixed read/write stress over any RW implementation; returns whether
    the exclusion invariant was ever violated. *)
-let rw_stress (module L : Intf.RW) ~domains ~iters ~write_pct ~slots () =
+let rw_stress (module L : Intf.RW_TRY) ~domains ~iters ~write_pct ~slots () =
   let l = L.create () in
   let c = make_rw_checker ~slots in
   let barrier = make_barrier domains in
@@ -69,7 +69,7 @@ let rw_stress (module L : Intf.RW) ~domains ~iters ~write_pct ~slots () =
   Atomic.get c.violated
 
 (* Exclusive-only stress over any MUTEX implementation. *)
-let mutex_stress (module L : Intf.MUTEX) ~domains ~iters ~slots () =
+let mutex_stress (module L : Intf.MUTEX_TRY) ~domains ~iters ~slots () =
   let l = L.create () in
   let c = make_rw_checker ~slots in
   let barrier = make_barrier domains in

@@ -166,9 +166,10 @@ let test_segment_full_range () =
     (Domain.join other_blocked)
 
 let test_segment_stress () =
+  let (module L : Rlk.Intf.RW) = Segment_rw.impl ~segments:64 ~segment_size:1 in
   let violated =
     Stress_helpers.rw_stress
-      (Segment_rw.impl ~segments:64 ~segment_size:1)
+      (module L)
       ~domains:4 ~iters:2_000 ~write_pct:40 ~slots:64 ()
   in
   Alcotest.(check bool) "no rw violation" false violated
@@ -432,6 +433,68 @@ let test_single_rwsem_semantics () =
   in
   Alcotest.(check bool) "no rw violation" false violated
 
+(* ---- try paths across the baselines ---- *)
+
+let test_rwsem_try_paths () =
+  let open Rlk_primitives in
+  let s = Rwsem.create () in
+  Alcotest.(check bool) "free write try" true (Rwsem.try_down_write s);
+  Alcotest.(check bool) "read refused under writer" false (Rwsem.try_down_read s);
+  Alcotest.(check bool) "write refused under writer" false
+    (Rwsem.try_down_write s);
+  Rwsem.up_write s;
+  Alcotest.(check bool) "free read try" true (Rwsem.try_down_read s);
+  Alcotest.(check bool) "second reader shares" true (Rwsem.try_down_read s);
+  Alcotest.(check bool) "write refused under readers" false
+    (Rwsem.try_down_write s);
+  Rwsem.up_read s;
+  Rwsem.up_read s;
+  Alcotest.(check bool) "write after readers drain" true (Rwsem.try_down_write s);
+  Rwsem.up_write s
+
+let test_segment_try_paths () =
+  let l = Segment_rw.create ~segments:8 ~segment_size:4 () in
+  let w = Segment_rw.write_acquire l (range 0 8) in
+  (* Segments 0-1 are write-held. *)
+  Alcotest.(check bool) "overlapping write try refused" true
+    (Segment_rw.try_write_acquire l (range 4 12) = None);
+  Alcotest.(check bool) "overlapping read try refused" true
+    (Segment_rw.try_read_acquire l (range 6 10) = None);
+  (match Segment_rw.try_read_acquire l (range 12 20) with
+   | Some h -> Segment_rw.release l h
+   | None -> Alcotest.fail "disjoint segments refused");
+  Segment_rw.release l w;
+  (* The refused tries unwound their claimed prefix: every segment is free. *)
+  match Segment_rw.try_write_acquire l (range 0 32) with
+  | None -> Alcotest.fail "all segments should be free again"
+  | Some h -> Segment_rw.release l h
+
+let test_single_rwsem_try_paths () =
+  let l = Single_rwsem.create () in
+  let w = Single_rwsem.write_acquire l (range 0 10) in
+  (* Ranges are ignored by the stock lock: even a disjoint range conflicts. *)
+  Alcotest.(check bool) "disjoint read still refused" true
+    (Single_rwsem.try_read_acquire l (range 50 60) = None);
+  Single_rwsem.release l w;
+  match Single_rwsem.try_read_acquire l (range 0 10) with
+  | None -> Alcotest.fail "free read refused"
+  | Some h ->
+    Alcotest.(check bool) "writer refused under try-acquired reader" true
+      (Single_rwsem.try_write_acquire l (range 90 95) = None);
+    Single_rwsem.release l h
+
+let test_gpfs_try_paths () =
+  let l = Gpfs_tokens.create () in
+  (match Gpfs_tokens.try_acquire l (range 0 10) with
+   | None -> Alcotest.fail "first try should grant via the manager"
+   | Some h -> Gpfs_tokens.release l h);
+  Alcotest.(check int) "one manager grant" 1 (Gpfs_tokens.grants l);
+  (* Later tries ride the cached whole-file token, no manager round-trip. *)
+  (match Gpfs_tokens.try_acquire l (range 500 600) with
+   | None -> Alcotest.fail "cached token refused"
+   | Some h -> Gpfs_tokens.release l h);
+  Alcotest.(check int) "no further grants" 1 (Gpfs_tokens.grants l)
+
 (* ---- Rw_of_mutex adapter ---- *)
 
 let test_rw_of_mutex_adapter () =
@@ -484,5 +547,13 @@ let () =
        [ Alcotest.test_case "semantics + stress" `Quick test_tree_ticket_guard ]);
       ("single-rwsem",
        [ Alcotest.test_case "stress" `Quick test_single_rwsem_semantics ]);
+      ("try-paths",
+       [ Alcotest.test_case "rwsem try_down_*" `Quick test_rwsem_try_paths;
+         Alcotest.test_case "segment try unwinds prefix" `Quick
+           test_segment_try_paths;
+         Alcotest.test_case "single-rwsem try" `Quick
+           test_single_rwsem_try_paths;
+         Alcotest.test_case "gpfs try rides cached token" `Quick
+           test_gpfs_try_paths ]);
       ("adapters",
        [ Alcotest.test_case "rw-of-mutex" `Quick test_rw_of_mutex_adapter ]) ]

@@ -1,0 +1,344 @@
+open Rlk
+module Fault = Rlk_chaos.Fault
+module Waitboard = Rlk_chaos.Waitboard
+module Watchdog = Rlk_chaos.Watchdog
+module Clock = Rlk_primitives.Clock
+
+let range lo hi = Range.v ~lo ~hi
+
+(* Injection is process-global state: every test leaves it disarmed. *)
+let with_plan plan f =
+  Fault.arm plan;
+  Fun.protect ~finally:Fault.disarm f
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ---------------- Fault registry ---------------- *)
+
+let p_inert = Fault.point "chaos_test.inert"
+
+let test_disarmed_inert () =
+  Fault.disarm ();
+  Alcotest.(check bool) "enabled off" false (Atomic.get Fault.enabled);
+  Fault.hit p_inert;
+  Fault.delay p_inert;
+  Alcotest.(check bool) "cas never fails" false (Fault.cas_fails p_inert);
+  Alcotest.(check bool) "never skips" false (Fault.skip p_inert);
+  Alcotest.(check int) "nothing fired" 0 (Fault.fired p_inert);
+  Alcotest.(check bool) "no plan" true (Fault.armed () = None)
+
+let test_point_idempotent () =
+  let a = Fault.point "chaos_test.idem" and b = Fault.point "chaos_test.idem" in
+  Alcotest.(check bool) "same point per name" true (a == b);
+  Alcotest.(check string) "name kept" "chaos_test.idem" (Fault.name a);
+  Alcotest.(check bool) "registered" true
+    (List.mem "chaos_test.idem" (Fault.registered ()))
+
+let p_det = Fault.point "chaos_test.det"
+
+let test_determinism () =
+  let schedule () =
+    with_plan (Fault.plan ~seed:1234 ~cas_fail_p:0.5 ()) (fun () ->
+        List.init 200 (fun _ -> Fault.cas_fails p_det))
+  in
+  let a = schedule () in
+  let b = schedule () in
+  Alcotest.(check bool) "re-arming the same plan replays the schedule" true
+    (a = b);
+  Alcotest.(check bool) "schedule actually mixes outcomes" true
+    (List.mem true a && List.mem false a);
+  let c =
+    with_plan (Fault.plan ~seed:1235 ~cas_fail_p:0.5 ()) (fun () ->
+        List.init 200 (fun _ -> Fault.cas_fails p_det))
+  in
+  Alcotest.(check bool) "a different seed diverges" true (a <> c)
+
+let p_skip = Fault.point "chaos_test.skip"
+
+let test_skip_gating () =
+  with_plan (Fault.plan ~seed:7 ~p:1.0 ()) (fun () ->
+      for _ = 1 to 50 do
+        Alcotest.(check bool) "not in unsound list: never skips" false
+          (Fault.skip p_skip)
+      done);
+  with_plan (Fault.plan ~seed:7 ~p:1.0 ~unsound:[ "chaos_test.skip" ] ())
+    (fun () ->
+      Alcotest.(check bool) "unsound point skips at p=1" true
+        (Fault.skip p_skip))
+
+let p_alpha = Fault.point "alpha_test.x"
+
+let p_beta = Fault.point "beta_test.x"
+
+let test_only_filter () =
+  with_plan
+    (Fault.plan ~seed:9 ~p:1.0 ~cas_fail_p:1.0 ~only:[ "alpha_test" ] ())
+    (fun () ->
+      Alcotest.(check bool) "prefix-selected point fires" true
+        (Fault.cas_fails p_alpha);
+      for _ = 1 to 20 do
+        Alcotest.(check bool) "out-of-scope point is inert" false
+          (Fault.cas_fails p_beta)
+      done);
+  Alcotest.(check int) "out-of-scope never fired" 0 (Fault.fired p_beta);
+  Alcotest.(check bool) "counters see the fired point" true
+    (match List.assoc_opt "alpha_test.x" (Fault.counters ()) with
+     | Some n -> n >= 1
+     | None -> false);
+  Alcotest.(check bool) "total aggregates" true (Fault.total_fired () >= 1)
+
+let test_chaos_smoke_under_plan () =
+  (* A benign plan over the real list lock: exclusion must survive the
+     injected stalls/CAS failures and some injections must actually land. *)
+  let before = Fault.total_fired () in
+  with_plan
+    (Fault.plan ~seed:42 ~p:0.3 ~relax_spins:16 ~delay_ns:1_000
+       ~cas_fail_p:0.3 ~only:[ "list_rw" ] ())
+    (fun () ->
+      let l = List_rw.create () in
+      let violated = Atomic.make false in
+      let owners = Array.init 32 (fun _ -> Atomic.make 0) in
+      let ds =
+        Array.init 2 (fun id ->
+            Domain.spawn (fun () ->
+                let rng = Rlk_primitives.Prng.create ~seed:(id + 1) in
+                for _ = 1 to 400 do
+                  let lo = Rlk_primitives.Prng.below rng 28 in
+                  let r = range lo (lo + 1 + Rlk_primitives.Prng.below rng 4) in
+                  let write = Rlk_primitives.Prng.below rng 2 = 0 in
+                  let h =
+                    if write then List_rw.write_acquire l r
+                    else List_rw.read_acquire l r
+                  in
+                  for i = Range.lo r to Range.hi r - 1 do
+                    let prev =
+                      Atomic.fetch_and_add owners.(i) (if write then 1_000 else 1)
+                    in
+                    if (write && prev <> 0) || ((not write) && prev >= 1_000)
+                    then Atomic.set violated true
+                  done;
+                  for i = Range.lo r to Range.hi r - 1 do
+                    ignore
+                      (Atomic.fetch_and_add owners.(i)
+                         (if write then -1_000 else -1))
+                  done;
+                  List_rw.release l h
+                done))
+      in
+      Array.iter Domain.join ds;
+      Alcotest.(check bool) "exclusion holds under benign chaos" false
+        (Atomic.get violated));
+  Alcotest.(check bool) "injections fired" true (Fault.total_fired () > before)
+
+(* ---------------- Waitboard / Watchdog ---------------- *)
+
+let test_waitboard_publish () =
+  let b = Waitboard.create ~name:"test-board" in
+  Alcotest.(check string) "named" "test-board" (Waitboard.name b);
+  Alcotest.(check int) "empty" 0 (List.length (Waitboard.waiters b));
+  Alcotest.(check int) "no wait age" 0 (Waitboard.longest_wait_ns b);
+  Waitboard.wait_begin b ~lo:3 ~hi:9 ~write:true;
+  (match Waitboard.waiters b with
+   | [ w ] ->
+     Alcotest.(check int) "lo" 3 w.Waitboard.lo;
+     Alcotest.(check int) "hi" 9 w.Waitboard.hi;
+     Alcotest.(check bool) "write mode" true w.Waitboard.write;
+     Alcotest.(check bool) "age sane" true (w.Waitboard.waited_ns >= 0)
+   | ws -> Alcotest.failf "expected one waiter, got %d" (List.length ws));
+  Waitboard.wait_end b;
+  Alcotest.(check int) "cleared" 0 (List.length (Waitboard.waiters b))
+
+let test_watchdog_scan () =
+  Watchdog.clear ();
+  let b = Waitboard.create ~name:"scan-board" in
+  Watchdog.watch b;
+  Alcotest.(check int) "no waiters, nothing stuck" 0
+    (List.length (Watchdog.scan ~threshold_ns:0));
+  let published = Atomic.make false and finish = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Waitboard.wait_begin b ~lo:4 ~hi:12 ~write:false;
+        Atomic.set published true;
+        while not (Atomic.get finish) do Domain.cpu_relax () done;
+        Waitboard.wait_end b)
+  in
+  while not (Atomic.get published) do Domain.cpu_relax () done;
+  (match Watchdog.scan ~threshold_ns:0 with
+   | [ s ] ->
+     Alcotest.(check string) "board name" "scan-board" s.Watchdog.lock;
+     Alcotest.(check int) "lo" 4 s.Watchdog.lo;
+     Alcotest.(check int) "hi" 12 s.Watchdog.hi;
+     Alcotest.(check bool) "read-mode wait" false s.Watchdog.write
+   | ss -> Alcotest.failf "expected one stuck waiter, got %d" (List.length ss));
+  Alcotest.(check int) "young waiters pass a high threshold" 0
+    (List.length (Watchdog.scan ~threshold_ns:max_int));
+  Atomic.set finish true;
+  Domain.join d;
+  Alcotest.(check int) "drained after wait_end" 0
+    (List.length (Watchdog.scan ~threshold_ns:0));
+  Watchdog.clear ()
+
+(* ---------------- Timed acquisition ---------------- *)
+
+let far_deadline () = Clock.now_ns () + 2_000_000_000
+
+(* Spawn a domain holding [acquire ()] until [release] flips. *)
+let hold_while acquire =
+  let holding = Atomic.make false and release = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        let fin = acquire () in
+        Atomic.set holding true;
+        while not (Atomic.get release) do Domain.cpu_relax () done;
+        fin ())
+  in
+  while not (Atomic.get holding) do Domain.cpu_relax () done;
+  (fun () ->
+     Atomic.set release true;
+     Domain.join d)
+
+let test_mutex_acquire_opt () =
+  let l = List_mutex.create () in
+  (* Uncontended: an already-expired deadline still succeeds (the deadline
+     only bounds waiting, it is not checked up front). *)
+  (match List_mutex.acquire_opt l ~deadline_ns:0 (range 0 10) with
+   | Some h -> List_mutex.release l h
+   | None -> Alcotest.fail "uncontended timed acquire failed");
+  let stop =
+    hold_while (fun () ->
+        let h = List_mutex.acquire l (range 0 10) in
+        fun () -> List_mutex.release l h)
+  in
+  let deadline = Clock.now_ns () + 2_000_000 in
+  Alcotest.(check bool) "conflicting timed acquire returns None" true
+    (List_mutex.acquire_opt l ~deadline_ns:deadline (range 5 15) = None);
+  Alcotest.(check bool) "only returned after the deadline" true
+    (Clock.now_ns () > deadline);
+  Alcotest.(check int) "timeout counted" 1
+    (List_mutex.metrics l).Metrics.timeouts;
+  (match List_mutex.acquire_opt l ~deadline_ns:(far_deadline ()) (range 10 20)
+   with
+   | Some h -> List_mutex.release l h
+   | None -> Alcotest.fail "disjoint timed acquire failed");
+  stop ();
+  (* Cancellation left no debris: the full range is acquirable. *)
+  let h = List_mutex.acquire l Range.full in
+  List_mutex.release l h
+
+let test_rw_acquire_opt () =
+  let l = List_rw.create () in
+  let stop =
+    hold_while (fun () ->
+        let h = List_rw.write_acquire l (range 0 10) in
+        fun () -> List_rw.release l h)
+  in
+  let soon () = Clock.now_ns () + 2_000_000 in
+  Alcotest.(check bool) "read over writer times out" true
+    (List_rw.read_acquire_opt l ~deadline_ns:(soon ()) (range 5 15) = None);
+  Alcotest.(check bool) "write over writer times out" true
+    (List_rw.write_acquire_opt l ~deadline_ns:(soon ()) (range 5 15) = None);
+  (match List_rw.write_acquire_opt l ~deadline_ns:0 (range 50 60) with
+   | Some h -> List_rw.release l h
+   | None -> Alcotest.fail "disjoint timed write failed");
+  stop ();
+  Alcotest.(check int) "both timeouts counted" 2
+    (List_rw.metrics l).Metrics.timeouts;
+  (match List_rw.read_acquire_opt l ~deadline_ns:(far_deadline ()) (range 5 15)
+   with
+   | Some h -> List_rw.release l h
+   | None -> Alcotest.fail "timed read after release failed");
+  (* Mark-and-retreat left no debris behind the timed-out writers. *)
+  let h = List_rw.write_acquire l Range.full in
+  List_rw.release l h
+
+let test_timed_wait_until_release () =
+  (* A generous deadline must ride out a short hold and then succeed. *)
+  let l = List_rw.create () in
+  let holding = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        let h = List_rw.write_acquire l (range 0 10) in
+        Atomic.set holding true;
+        Unix.sleepf 0.01;
+        List_rw.release l h)
+  in
+  while not (Atomic.get holding) do Domain.cpu_relax () done;
+  (match List_rw.write_acquire_opt l ~deadline_ns:(far_deadline ()) (range 0 10)
+   with
+   | Some h -> List_rw.release l h
+   | None -> Alcotest.fail "generous deadline should outlast the holder");
+  Domain.join d
+
+let test_stock_timed_poll () =
+  (* The stock baseline gets acquire_opt through the generic poll loop. *)
+  let module S = Rlk_baselines.Single_rwsem in
+  let l = S.create () in
+  let stop =
+    hold_while (fun () ->
+        let h = S.write_acquire l (range 0 10) in
+        fun () -> S.release l h)
+  in
+  Alcotest.(check bool) "polled read times out (ranges ignored)" true
+    (S.read_acquire_opt l ~deadline_ns:(Clock.now_ns () + 2_000_000)
+       (range 50 60)
+     = None);
+  stop ();
+  match S.read_acquire_opt l ~deadline_ns:(far_deadline ()) (range 50 60) with
+  | Some h -> S.release l h
+  | None -> Alcotest.fail "polled read after release failed"
+
+(* ---------------- JSON emitters ---------------- *)
+
+let test_metrics_json () =
+  let m = Metrics.create () in
+  Metrics.acquisition m;
+  Metrics.timeout m;
+  let j = Metrics.to_json (Metrics.snapshot m) in
+  Alcotest.(check bool) "flat object" true
+    (String.length j > 2 && j.[0] = '{' && j.[String.length j - 1] = '}');
+  Alcotest.(check bool) "acquisitions field" true
+    (contains j "\"acquisitions\":1");
+  Alcotest.(check bool) "timeouts field" true (contains j "\"timeouts\":1")
+
+let test_lockstat_json () =
+  let open Rlk_primitives in
+  let s = Lockstat.create "json-test" in
+  Lockstat.add s Lockstat.Write 42;
+  Lockstat.add s Lockstat.Read 7;
+  let j = Lockstat.to_json (Lockstat.snapshot s) in
+  Alcotest.(check bool) "write count" true (contains j "\"write_count\":1");
+  Alcotest.(check bool) "read wait total" true (contains j "\"read_wait_ns\":7");
+  Alcotest.(check bool) "write max" true (contains j "\"write_max_ns\":42")
+
+let () =
+  Alcotest.run "chaos"
+    [ ("fault",
+       [ Alcotest.test_case "disarmed is inert" `Quick test_disarmed_inert;
+         Alcotest.test_case "points are idempotent per name" `Quick
+           test_point_idempotent;
+         Alcotest.test_case "schedules are seed-deterministic" `Quick
+           test_determinism;
+         Alcotest.test_case "skip fires only for unsound points" `Quick
+           test_skip_gating;
+         Alcotest.test_case "only-prefix filter" `Quick test_only_filter;
+         Alcotest.test_case "exclusion holds under benign chaos" `Quick
+           test_chaos_smoke_under_plan ]);
+      ("watchdog",
+       [ Alcotest.test_case "waitboard publish/clear" `Quick
+           test_waitboard_publish;
+         Alcotest.test_case "scan flags a stuck waiter with its range" `Quick
+           test_watchdog_scan ]);
+      ("timed",
+       [ Alcotest.test_case "list-ex acquire_opt" `Quick test_mutex_acquire_opt;
+         Alcotest.test_case "list-rw read/write_acquire_opt" `Quick
+           test_rw_acquire_opt;
+         Alcotest.test_case "generous deadline outlasts holder" `Quick
+           test_timed_wait_until_release;
+         Alcotest.test_case "stock polls through timed_poll" `Quick
+           test_stock_timed_poll ]);
+      ("json",
+       [ Alcotest.test_case "metrics to_json" `Quick test_metrics_json;
+         Alcotest.test_case "lockstat to_json" `Quick test_lockstat_json ]) ]

@@ -206,6 +206,34 @@ let test_mutex_fast_path_to_regular_release () =
     (List_mutex.try_acquire l (range 0 10) <> None);
   List_mutex.release l h2
 
+let test_mutex_try_under_contention () =
+  (* try_acquire against a holder in another domain: refused on overlap,
+     granted when disjoint, granted again once the holder releases — and a
+     handle obtained via try releases like any other. *)
+  let l = List_mutex.create () in
+  let holding = Atomic.make false and release = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        let h = List_mutex.acquire l (range 0 10) in
+        Atomic.set holding true;
+        while not (Atomic.get release) do Domain.cpu_relax () done;
+        List_mutex.release l h)
+  in
+  while not (Atomic.get holding) do Domain.cpu_relax () done;
+  Alcotest.(check bool) "overlap refused while held elsewhere" true
+    (List_mutex.try_acquire l (range 5 15) = None);
+  (match List_mutex.try_acquire l (range 10 20) with
+   | Some h -> List_mutex.release l h
+   | None -> Alcotest.fail "disjoint try refused");
+  Atomic.set release true;
+  Domain.join d;
+  match List_mutex.try_acquire l (range 5 15) with
+  | None -> Alcotest.fail "free range refused after release"
+  | Some h ->
+    List_mutex.release l h;
+    let h2 = List_mutex.acquire l (range 5 15) in
+    List_mutex.release l h2
+
 (* ---------------- List_mutex: concurrent ---------------- *)
 
 let slots = 64
@@ -334,6 +362,28 @@ let test_rw_full_range_write () =
   Alcotest.(check bool) "full readers share" true
     (List_rw.try_read_acquire l Range.full <> None);
   List_rw.release l h
+
+let test_rw_try_under_contention () =
+  let l = List_rw.create () in
+  let holding = Atomic.make false and release = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        let h = List_rw.read_acquire l (range 0 10) in
+        Atomic.set holding true;
+        while not (Atomic.get release) do Domain.cpu_relax () done;
+        List_rw.release l h)
+  in
+  while not (Atomic.get holding) do Domain.cpu_relax () done;
+  Alcotest.(check bool) "writer refused over cross-domain reader" true
+    (List_rw.try_write_acquire l (range 5 15) = None);
+  (match List_rw.try_read_acquire l (range 5 15) with
+   | Some h -> List_rw.release l h
+   | None -> Alcotest.fail "reader sharing refused");
+  Atomic.set release true;
+  Domain.join d;
+  match List_rw.try_write_acquire l (range 5 15) with
+  | None -> Alcotest.fail "free range refused after release"
+  | Some h -> List_rw.release l h
 
 (* ---------------- List_rw: concurrent ---------------- *)
 
@@ -644,7 +694,9 @@ let () =
          Alcotest.test_case "fast path falls back on release" `Quick
            test_mutex_fast_path_to_regular_release;
          Alcotest.test_case "disjoint parallelism cross-domain" `Quick
-           test_mutex_disjoint_parallelism ]);
+           test_mutex_disjoint_parallelism;
+         Alcotest.test_case "try under cross-domain contention" `Quick
+           test_mutex_try_under_contention ]);
       ("list-mutex-stress",
        [ Alcotest.test_case "plain" `Quick test_mutex_stress_plain;
          Alcotest.test_case "fast path" `Quick test_mutex_stress_fast_path;
@@ -654,7 +706,9 @@ let () =
       ("list-rw",
        [ Alcotest.test_case "readers share" `Quick test_rw_readers_share;
          Alcotest.test_case "writer excludes" `Quick test_rw_writer_excludes;
-         Alcotest.test_case "full range modes" `Quick test_rw_full_range_write ]);
+         Alcotest.test_case "full range modes" `Quick test_rw_full_range_write;
+         Alcotest.test_case "try under cross-domain contention" `Quick
+           test_rw_try_under_contention ]);
       ("list-rw-stress",
        [ Alcotest.test_case "mixed 40% writes" `Quick test_rw_stress_mixed;
          Alcotest.test_case "read heavy" `Quick test_rw_stress_read_heavy;

@@ -4,9 +4,20 @@
 
      dune exec test/torture/torture.exe -- --seconds 120
 
+   With [--chaos] the soak runs under a deterministic fault-injection
+   schedule (relax storms, forced yields, spurious CAS failures, delayed
+   releases) derived from the printed seed; [--seed N] replays a schedule.
+   [--inject-bug] is the harness's self-test: it arms a deliberately
+   unsound injection (skipping the writer validation scan of the list-rw
+   lock) and succeeds only if the exclusion checker catches the resulting
+   violation — proof that a real bug under this harness is detected, and
+   that replaying the same seed reproduces it. See doc/robustness.md.
+
    Exits non-zero on the first violation. *)
 
 open Rlk_workloads
+module Fault = Rlk_chaos.Fault
+module Watchdog = Rlk_chaos.Watchdog
 
 let say fmt = Format.printf (fmt ^^ "@.")
 
@@ -21,16 +32,15 @@ let report name ok detail =
 
 (* ---- lock exclusion soaks ---- *)
 
+let extension_locks =
+  [ ("list-rw+fair", Locks.list_rw_fair_impl);
+    ("list-rw+wpref", Locks.list_rw_writer_pref_impl);
+    ("vee-rw", Locks.vee_rw_impl);
+    ("mpi-slots", Locks.slots_mutex_impl);
+    ("gpfs-tokens", Locks.gpfs_tokens_impl) ]
+
 let soak_rw_locks seconds =
-  say "-- range-lock exclusion soak (%.0fs per lock) --" seconds;
-  let locks =
-    Locks.arrbench_locks
-    @ [ ("list-rw+fair", Locks.list_rw_fair_impl);
-        ("list-rw+wpref", Locks.list_rw_writer_pref_impl);
-        ("vee-rw", Locks.vee_rw_impl);
-        ("mpi-slots", Locks.slots_mutex_impl);
-        ("gpfs-tokens", Locks.gpfs_tokens_impl) ]
-  in
+  say "-- range-lock exclusion soak (%.2fs per lock) --" seconds;
   List.iter
     (fun (name, lock) ->
        match
@@ -40,12 +50,148 @@ let soak_rw_locks seconds =
        | Ok r ->
          report name true (Printf.sprintf "%d ops" r.Runner.total_ops)
        | Error msg -> report name false msg)
-    locks
+    (Locks.arrbench_locks @ extension_locks)
+
+(* ---- timed (deadline-bounded) acquisition soak ---- *)
+
+(* Per-slot occupancy checker, as in the unit stress helpers. *)
+let make_checker slots =
+  let state = Array.init slots (fun _ -> Atomic.make 0) in
+  let violated = Atomic.make false in
+  let wunit = 1_000_000 in
+  let enter ~lo ~hi ~write =
+    for i = lo to hi - 1 do
+      let prev = Atomic.fetch_and_add state.(i) (if write then wunit else 1) in
+      if write then begin if prev <> 0 then Atomic.set violated true end
+      else if prev >= wunit then Atomic.set violated true
+    done
+  and leave ~lo ~hi ~write =
+    for i = lo to hi - 1 do
+      ignore (Atomic.fetch_and_add state.(i) (if write then -wunit else -1))
+    done
+  in
+  (violated, enter, leave)
+
+(* Mix deadline-bounded acquisitions (short deadlines, so some time out)
+   with deliberately slow holders; exclusion must hold throughout, both
+   outcomes must occur, and the lock must be quiescent afterwards — i.e.
+   timed-out acquisitions left no residue behind. Covers the native
+   mark-and-retreat path (list-rw) and the polled fallback (stock). *)
+let soak_timed seconds =
+  say "-- timed acquisition soak (%.2fs each) --" seconds;
+  let slots = 64 in
+  let run_one name ~acquire_opt ~acquire ~release ~quiescent =
+    let stop = Atomic.make false in
+    let violated, enter, leave = make_checker slots in
+    let successes = Atomic.make 0 and timeouts = Atomic.make 0 in
+    let ds =
+      Array.init 4 (fun id ->
+          Domain.spawn (fun () ->
+              let rng = Rlk_primitives.Prng.create ~seed:(id * 131 + 7) in
+              while not (Atomic.get stop) do
+                let a = Rlk_primitives.Prng.below rng slots
+                and b = Rlk_primitives.Prng.below rng slots in
+                let lo = min a b and hi = max a b + 1 in
+                let r = Rlk.Range.v ~lo ~hi in
+                let write = Rlk_primitives.Prng.bool rng ~p:0.3 in
+                if Rlk_primitives.Prng.bool rng ~p:0.15 then begin
+                  (* Slow holder: forces later deadlines to expire. *)
+                  let h = acquire ~write r in
+                  enter ~lo ~hi ~write;
+                  Unix.sleepf 2e-4;
+                  leave ~lo ~hi ~write;
+                  release h
+                end
+                else begin
+                  let deadline_ns =
+                    Rlk_primitives.Clock.now_ns () + 50_000
+                  in
+                  match acquire_opt ~write ~deadline_ns r with
+                  | Some h ->
+                    Atomic.incr successes;
+                    enter ~lo ~hi ~write;
+                    leave ~lo ~hi ~write;
+                    release h
+                  | None -> Atomic.incr timeouts
+                end
+              done))
+    in
+    Unix.sleepf seconds;
+    Atomic.set stop true;
+    Array.iter Domain.join ds;
+    let ok =
+      (not (Atomic.get violated))
+      && quiescent ()
+      && Atomic.get successes > 0
+      && Atomic.get timeouts > 0
+    in
+    report name ok
+      (Printf.sprintf "%d acquired, %d timed out%s"
+         (Atomic.get successes) (Atomic.get timeouts)
+         (if quiescent () then "" else " [NOT quiescent]"))
+  in
+  let l = Rlk.List_rw.create () in
+  run_one "list-rw (native deadline)"
+    ~acquire_opt:(fun ~write ~deadline_ns r ->
+        if write then Rlk.List_rw.write_acquire_opt l ~deadline_ns r
+        else Rlk.List_rw.read_acquire_opt l ~deadline_ns r)
+    ~acquire:(fun ~write r ->
+        if write then Rlk.List_rw.write_acquire l r
+        else Rlk.List_rw.read_acquire l r)
+    ~release:(fun h -> Rlk.List_rw.release l h)
+    ~quiescent:(fun () -> Rlk.List_rw.holders l = []);
+  let m = Rlk.List_mutex.create () in
+  run_one "list-ex (native deadline)"
+    ~acquire_opt:(fun ~write:_ ~deadline_ns r ->
+        Rlk.List_mutex.acquire_opt m ~deadline_ns r)
+    ~acquire:(fun ~write:_ r -> Rlk.List_mutex.acquire m r)
+    ~release:(fun h -> Rlk.List_mutex.release m h)
+    ~quiescent:(fun () -> Rlk.List_mutex.holders m = []);
+  let s = Rlk_baselines.Single_rwsem.create () in
+  run_one "stock (polled fallback)"
+    ~acquire_opt:(fun ~write ~deadline_ns r ->
+        if write then Rlk_baselines.Single_rwsem.write_acquire_opt s ~deadline_ns r
+        else Rlk_baselines.Single_rwsem.read_acquire_opt s ~deadline_ns r)
+    ~acquire:(fun ~write r ->
+        if write then Rlk_baselines.Single_rwsem.write_acquire s r
+        else Rlk_baselines.Single_rwsem.read_acquire s r)
+    ~release:(fun h -> Rlk_baselines.Single_rwsem.release s h)
+    ~quiescent:(fun () -> true)
+
+(* ---- starvation watchdog ---- *)
+
+(* Deliberately stall a writer behind a long-held conflicting range and
+   check the watchdog flags it, with the owning range. *)
+let soak_watchdog () =
+  say "-- starvation watchdog --";
+  let l = Rlk.List_rw.create () in
+  let wd = Watchdog.start ~interval_s:0.005 ~threshold_ns:40_000_000 () in
+  let h = Rlk.List_rw.write_acquire l (Rlk.Range.v ~lo:0 ~hi:8) in
+  let d =
+    Domain.spawn (fun () ->
+        let h2 = Rlk.List_rw.write_acquire l (Rlk.Range.v ~lo:4 ~hi:12) in
+        Rlk.List_rw.release l h2)
+  in
+  Unix.sleepf 0.15;
+  let mid = Watchdog.snapshot wd in
+  Rlk.List_rw.release l h;
+  Domain.join d;
+  let final = Watchdog.stop wd in
+  let flagged_right =
+    List.exists
+      (fun (s : Watchdog.stuck) ->
+         s.lock = "list-rw" && s.lo = 4 && s.hi = 12 && s.write)
+      mid.stuck
+  in
+  report "watchdog flags stuck waiter"
+    (mid.flagged > 0 && flagged_right)
+    (Printf.sprintf "%d samples, worst wait %.0f ms" final.samples
+       (float_of_int final.worst_wait_ns /. 1e6))
 
 (* ---- VM soak ---- *)
 
 let soak_vm seconds =
-  say "-- VM subsystem soak (%.0fs per variant) --" seconds;
+  say "-- VM subsystem soak (%.2fs per variant) --" seconds;
   List.iter
     (fun variant ->
        let sync = Rlk_vm.Sync.create variant in
@@ -93,7 +239,7 @@ let soak_vm seconds =
 (* ---- data structure soaks ---- *)
 
 let soak_structures seconds =
-  say "-- data-structure soak (%.0fs each) --" seconds;
+  say "-- data-structure soak (%.2fs each) --" seconds;
   (* Skip lists with per-key transition checking. *)
   List.iter
     (fun (name, (module S : Rlk_skiplist.Skiplist_intf.SET)) ->
@@ -158,24 +304,130 @@ let soak_structures seconds =
     ((not (Atomic.get violated)) && H.check_invariants h = Ok ())
     (Printf.sprintf "%d resizes" (H.resizes h))
 
-let run seconds =
-  Runner.init ();
-  let per_section = max 0.5 (seconds /. 3.0) in
-  let locks =
-    List.length Locks.arrbench_locks + 5
-    (* extension locks added in soak_rw_locks *)
+(* ---- chaos self-test ---- *)
+
+(* Prove the harness catches a real bug: with the conflict wait during
+   traversal and the validation scans both (unsoundly) skipped, an
+   acquirer can walk straight past a held overlapping range and hold it
+   concurrently — and the occupancy checker must notice. The small slot
+   space keeps the overlap rate high so the joint skip fires fast. *)
+let inject_bug_test seconds seed =
+  say "-- chaos self-test: skip list_rw conflict wait + validation (seed %d) \
+       --" seed;
+  Fault.arm
+    (Fault.plan ~seed ~p:0.5 ~relax_spins:256 ~only:[ "list_rw" ]
+       ~unsound:
+         [ "list_rw.conflict_wait.skip"; "list_rw.w_validate.skip";
+           "list_rw.r_validate.skip" ]
+       ());
+  let l = Rlk.List_rw.create () in
+  let slots = 16 in
+  let violated, enter, leave = make_checker slots in
+  let stop = Atomic.make false in
+  let until = Unix.gettimeofday () +. Float.max 2.0 seconds in
+  let ds =
+    Array.init 8 (fun id ->
+        Domain.spawn (fun () ->
+            let rng = Rlk_primitives.Prng.create ~seed:(seed + (id * 7919)) in
+            let n = ref 0 in
+            while not (Atomic.get stop) do
+              incr n;
+              let lo = Rlk_primitives.Prng.below rng slots in
+              let hi = min slots (lo + 1 + Rlk_primitives.Prng.below rng 4) in
+              let r = Rlk.Range.v ~lo ~hi in
+              let write = Rlk_primitives.Prng.bool rng ~p:0.5 in
+              let h =
+                if write then Rlk.List_rw.write_acquire l r
+                else Rlk.List_rw.read_acquire l r
+              in
+              enter ~lo ~hi ~write;
+              for _ = 1 to 32 do Domain.cpu_relax () done;
+              leave ~lo ~hi ~write;
+              Rlk.List_rw.release l h;
+              if Atomic.get violated
+                 || (!n land 63 = 0 && Unix.gettimeofday () > until)
+              then Atomic.set stop true
+            done))
   in
-  let per_lock = per_section /. float_of_int locks in
-  soak_rw_locks per_lock;
-  soak_vm (per_section /. float_of_int (List.length Rlk_vm.Sync.all_variants));
-  soak_structures (per_section /. 4.0);
-  if !failures = 0 then begin
-    say "torture: all clear";
+  Array.iter Domain.join ds;
+  let skips =
+    Fault.fired (Fault.point "list_rw.conflict_wait.skip")
+    + Fault.fired (Fault.point "list_rw.w_validate.skip")
+    + Fault.fired (Fault.point "list_rw.r_validate.skip")
+  in
+  Fault.disarm ();
+  if Atomic.get violated then begin
+    say "  PASS injected bug caught (exclusion violated; %d validations \
+         skipped)"
+      skips;
     0
   end
   else begin
-    say "torture: %d FAILURES" !failures;
+    say "  FAIL injected bug NOT caught (%d validations skipped) — \
+         replay: --inject-bug --seed %d"
+      skips seed;
     1
+  end
+
+(* ---- driver ---- *)
+
+let run seconds seed chaos inject_bug =
+  Runner.init ();
+  let seed =
+    if seed <> 0 then seed
+    else int_of_float (Unix.gettimeofday () *. 1e6) land 0xFFFFFF lor 1
+  in
+  say "torture: seed %d%s (replay: --seed %d%s)" seed
+    (if chaos then " [chaos]" else "")
+    seed
+    (if chaos then " --chaos" else "");
+  if inject_bug then inject_bug_test seconds seed
+  else begin
+    (* Locks created from here on publish their waitboards; a global
+       watchdog asserts nobody starves for a large fraction of the run. *)
+    Watchdog.clear ();
+    Watchdog.set_auto_watch true;
+    let starve_ns =
+      int_of_float (Float.max 2.0 (seconds /. 4.0) *. 1e9)
+    in
+    let wd = Watchdog.start ~interval_s:0.02 ~threshold_ns:starve_ns () in
+    if chaos then Fault.arm (Fault.plan ~seed ());
+    let n_locks =
+      List.length Locks.arrbench_locks + List.length extension_locks
+    in
+    soak_rw_locks (Float.max 0.02 (0.4 *. seconds /. float_of_int n_locks));
+    soak_timed (Float.max 0.3 (0.15 *. seconds /. 3.0));
+    soak_watchdog ();
+    soak_vm
+      (Float.max 0.05
+         (0.25 *. seconds
+          /. float_of_int (List.length Rlk_vm.Sync.all_variants)));
+    soak_structures (Float.max 0.05 (0.2 *. seconds /. 4.0));
+    if chaos then begin
+      let fired = Fault.total_fired () in
+      Fault.disarm ();
+      report "chaos schedule fired" (fired > 0)
+        (Printf.sprintf "%d injections across %d points" fired
+           (List.length (Fault.registered ())))
+    end;
+    let snap = Watchdog.stop wd in
+    Watchdog.set_auto_watch false;
+    report "watchdog: no starved waiter"
+      (snap.Watchdog.flagged = 0)
+      (Printf.sprintf "%d scans, worst wait %.0f ms" snap.Watchdog.samples
+         (float_of_int snap.Watchdog.worst_wait_ns /. 1e6));
+    List.iter
+      (fun s -> say "  stuck: %s" (Format.asprintf "%a" Watchdog.pp_stuck s))
+      snap.Watchdog.stuck;
+    if !failures = 0 then begin
+      say "torture: all clear";
+      0
+    end
+    else begin
+      say "torture: %d FAILURES (replay: --seed %d%s)" !failures seed
+        (if chaos then " --chaos" else "");
+      1
+    end
   end
 
 open Cmdliner
@@ -185,7 +437,23 @@ let cmd =
     Arg.(value & opt float 30.0 & info [ "seconds"; "s" ]
            ~doc:"Total wall-clock budget, split across sections.")
   in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ]
+           ~doc:"Chaos schedule seed (0 = derive from the clock). The seed \
+                 is printed at startup; pass it back to replay a run.")
+  in
+  let chaos =
+    Arg.(value & flag & info [ "chaos" ]
+           ~doc:"Run the soaks under a deterministic fault-injection \
+                 schedule derived from the seed.")
+  in
+  let inject_bug =
+    Arg.(value & flag & info [ "inject-bug" ]
+           ~doc:"Self-test: arm a deliberately unsound injection (skipped \
+                 writer validation) and require the exclusion checker to \
+                 catch the resulting violation.")
+  in
   Cmd.v (Cmd.info "torture" ~doc:"Long-running concurrency soak tests")
-    Term.(const run $ seconds)
+    Term.(const run $ seconds $ seed $ chaos $ inject_bug)
 
 let () = exit (Cmd.eval' cmd)
