@@ -610,11 +610,63 @@ let lock_health cfg =
     say "lock-health JSON written to %s" file
   | None -> ()
 
+(* ---------------- Verification pass (--verify) ---------------- *)
+
+(* Run every registered lock through a short oracle-checked ArrBench mix:
+   the lock is wrapped in Rlk_check.Record, the history armed with an
+   online oracle sink, and the drained whole-run history replayed offline —
+   overlap violations or leaked handles fail the process (exit 1). This is
+   the CI hook; see doc/testing.md. *)
+let verify cfg =
+  let locks =
+    Locks.arrbench_locks
+    @ [ ("list-ex+fast", Locks.list_mutex_fast_path_impl);
+        ("list-rw+fair", Locks.list_rw_fair_impl);
+        ("list-rw+wpref", Locks.list_rw_writer_pref_impl);
+        ("kernel-rw+ticket", Locks.kernel_rw_ticket_impl);
+        ("vee-rw", Locks.vee_rw_impl);
+        ("mpi-slots", Locks.slots_mutex_impl);
+        ("gpfs-tokens", Locks.gpfs_tokens_impl) ]
+  in
+  say "-- Verify: oracle-checked ArrBench random mix, %d threads, %.2fs/lock --"
+    4
+    (Float.min cfg.duration_s 0.25);
+  let bad = ref 0 in
+  List.iter
+    (fun (name, lock) ->
+       let oracle = Rlk_check.Oracle.create () in
+       Rlk.History.arm ~sink:(Rlk_check.Oracle.sink oracle) ();
+       let r =
+         Arrbench.run
+           ~lock:(Rlk_check.Record.wrap lock)
+           ~variant:Arrbench.Random ~threads:4 ~read_pct:60
+           ~duration_s:(Float.min cfg.duration_s 0.25)
+       in
+       Rlk.History.disarm ();
+       let events = Rlk.History.drain () in
+       let dropped = Rlk.History.dropped () in
+       let report = Rlk_check.Oracle.check ~dropped events in
+       let ok =
+         Rlk_check.Oracle.ok report
+         && Rlk_check.Oracle.violation_count oracle = 0
+       in
+       if not ok then incr bad;
+       say "   %-18s %12.0f ops/sec | %a%s" name r.Runner.throughput
+         (fun ppf () -> Rlk_check.Oracle.pp_report ppf report)
+         ()
+         (if ok then "" else "  ** VIOLATION **"))
+    locks;
+  if !bad > 0 then begin
+    say "verify: FAILED for %d lock(s)" !bad;
+    exit 1
+  end
+  else say "verify: all locks clean (no overlap violations, no residue)"
+
 (* ---------------- driver ---------------- *)
 
 let all_figures = [ 3; 4; 5; 6; 7; 8 ]
 
-let run figures quick bechamel_only ablation_only csv json =
+let run figures quick bechamel_only ablation_only verify_only csv json =
   Runner.init ();
   (match csv with
    | Some dir ->
@@ -632,7 +684,8 @@ let run figures quick bechamel_only ablation_only csv json =
   say "note: thread counts beyond the core count oversubscribe; relative";
   say "ordering (the paper's 'shape') is the signal, not absolute numbers.";
   say "";
-  if bechamel_only then run_bechamel ()
+  if verify_only then verify cfg
+  else if bechamel_only then run_bechamel ()
   else if ablation_only then ablation cfg
   else begin
     let want n = List.mem n figures in
@@ -675,6 +728,15 @@ let bechamel_arg =
 let ablation_arg =
   Arg.(value & flag & info [ "ablation" ] ~doc:"Only run the ablation benchmarks.")
 
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:
+          "Only run the verification pass: a short oracle-checked contended \
+           mix over every registered lock; exits non-zero on any overlap \
+           violation or leaked handle.")
+
 let csv_arg =
   Arg.(value & opt (some string) None & info [ "csv" ]
          ~doc:"Also write every series to CSV files in this directory.")
@@ -689,7 +751,7 @@ let cmd =
   let term =
     Term.(
       const run $ figures_arg $ quick_arg $ bechamel_arg $ ablation_arg
-      $ csv_arg $ json_arg)
+      $ verify_arg $ csv_arg $ json_arg)
   in
   Cmd.v
     (Cmd.info "bench"

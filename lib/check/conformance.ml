@@ -1,0 +1,307 @@
+open Rlk_primitives
+module Fault = Rlk_chaos.Fault
+module History = Rlk.History
+module Range = Rlk.Range
+
+type outcome = { scenario : string; seed : int; ok : bool; detail : string }
+
+let scenario_names =
+  [ "overlap-exclusion";
+    "adjacent-independence";
+    "reader-sharing";
+    "try-timed";
+    "chaos-release" ]
+
+let failures outcomes = List.filter (fun o -> not o.ok) outcomes
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "[%s] %s (seed %d): %s"
+    (if o.ok then "ok" else "FAIL")
+    o.scenario o.seed o.detail
+
+module Make (M : Rlk.Intf.RW) = struct
+  module R = Record.Make (M)
+
+  let spin_until f = while not (f ()) do Domain.cpu_relax () done
+
+  (* Hold a granted range long enough to be observable. A fraction of the
+     holds sleep (an OS-level deschedule): on a single-CPU box pure spin
+     holds almost never span a preemption, so concurrent recorded holds —
+     and thus any wrongly granted overlap — would be vanishingly rare. *)
+  let hold rng =
+    if Prng.bool rng ~p:0.3 then begin
+      try Unix.sleepf 30e-6 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    end
+    else
+      for _ = 1 to 64 + Prng.below rng 192 do
+        Domain.cpu_relax ()
+      done
+
+  type ctx = {
+    lock : R.t;
+    domains : int;
+    iters : int;
+    slots : int;
+    seed : int;
+    err_mu : Mutex.t;
+    mutable errors : string list; (* newest first, guarded by err_mu *)
+  }
+
+  let fail ctx fmt =
+    Format.kasprintf
+      (fun s ->
+        Mutex.lock ctx.err_mu;
+        ctx.errors <- s :: ctx.errors;
+        Mutex.unlock ctx.err_mu)
+      fmt
+
+  let guard ctx label f =
+    try f () with e -> fail ctx "%s: exception %s" label (Printexc.to_string e)
+
+  let spawn_all n body = List.init n (fun id -> Domain.spawn (fun () -> body id))
+
+  let join_all = List.iter Domain.join
+
+  (* Random mixed reader/writer churn over overlapping ranges: the bread
+     and butter of the oracle — every granted overlap with a writer is a
+     violation. *)
+  let overlap_exclusion ctx =
+    let body id =
+      guard ctx "worker" @@ fun () ->
+      let rng = Prng.create ~seed:((ctx.seed * 0x9E3779B1) + ((id + 1) * 104729)) in
+      for _ = 1 to ctx.iters do
+        let w = 1 + Prng.below rng 8 in
+        let lo = Prng.below rng (max 1 (ctx.slots - w)) in
+        let r = Range.v ~lo ~hi:(lo + w) in
+        let h =
+          if Prng.bool rng ~p:0.4 then R.read_acquire ctx.lock r
+          else R.write_acquire ctx.lock r
+        in
+        hold rng;
+        R.release ctx.lock h
+      done
+    in
+    join_all (spawn_all ctx.domains body)
+
+  (* Adjacent half-open ranges do not overlap. Holding [k, k+1) must always
+     block a conflicting try on the same cell; whether the adjacent cell is
+     still grantable is a granularity capability (stock and token baselines
+     legitimately serialize it), asserted only when [expect_disjoint]. *)
+  let adjacent_independence ctx ~expect_disjoint =
+    let held = Atomic.make false and done_ = Atomic.make false in
+    let k = ctx.slots / 2 in
+    let holder =
+      Domain.spawn (fun () ->
+          guard ctx "holder" @@ fun () ->
+          let h = R.write_acquire ctx.lock (Range.v ~lo:k ~hi:(k + 1)) in
+          Atomic.set held true;
+          spin_until (fun () -> Atomic.get done_);
+          R.release ctx.lock h)
+    in
+    spin_until (fun () -> Atomic.get held);
+    (match R.try_write_acquire ctx.lock (Range.v ~lo:k ~hi:(k + 1)) with
+     | Some h ->
+       fail ctx "adjacent: try_write granted on a cell held by a writer";
+       R.release ctx.lock h
+     | None -> ());
+    (match R.try_write_acquire ctx.lock (Range.v ~lo:(k + 1) ~hi:(k + 2)) with
+     | Some h -> R.release ctx.lock h
+     | None ->
+       if expect_disjoint then
+         fail ctx "adjacent: try_write refused on the free adjacent cell");
+    Atomic.set done_ true;
+    Domain.join holder;
+    (* Disjoint striped churn: per-domain stripes never conflict, so the
+       whole run must also be violation-free for coarse baselines. *)
+    let stride = max 1 (ctx.slots / max 1 ctx.domains) in
+    let body id =
+      guard ctx "stripe" @@ fun () ->
+      let lo = id * stride in
+      let r = Range.v ~lo ~hi:(lo + stride) in
+      for _ = 1 to ctx.iters do
+        let h = R.write_acquire ctx.lock r in
+        Domain.cpu_relax ();
+        R.release ctx.lock h
+      done
+    in
+    join_all (spawn_all ctx.domains body)
+
+  (* Readers share; writers never join them. Sharing is a capability
+     (exclusive-only locks lifted through Rw_of_mutex deny it); the
+     writer-under-reader refusal is universal safety. *)
+  let reader_sharing ctx ~expect_sharing =
+    let held = Atomic.make false and done_ = Atomic.make false in
+    let r = Range.v ~lo:0 ~hi:(max 2 (ctx.slots / 2)) in
+    let holder =
+      Domain.spawn (fun () ->
+          guard ctx "holder" @@ fun () ->
+          let h = R.read_acquire ctx.lock r in
+          Atomic.set held true;
+          spin_until (fun () -> Atomic.get done_);
+          R.release ctx.lock h)
+    in
+    spin_until (fun () -> Atomic.get held);
+    (match R.try_write_acquire ctx.lock r with
+     | Some h ->
+       fail ctx "reader-sharing: try_write granted under a live reader";
+       R.release ctx.lock h
+     | None -> ());
+    if expect_sharing then begin
+      (* Probe from its own domain: the per-domain-slot baselines allow at
+         most one open critical section per domain. *)
+      let probe =
+        Domain.spawn (fun () ->
+            guard ctx "probe" @@ fun () ->
+            match R.try_read_acquire ctx.lock r with
+            | Some h -> R.release ctx.lock h
+            | None ->
+              fail ctx "reader-sharing: try_read refused under a live reader")
+      in
+      Domain.join probe
+    end;
+    Atomic.set done_ true;
+    Domain.join holder
+
+  (* try/timed semantics: conflicting attempts fail cleanly (and, per the
+     offline residue check, leave no state behind); a generous deadline on
+     a free lock succeeds — unless the implementation derives timed
+     acquisition by polling [try_*] and its try path cannot reclaim a
+     token cached by another domain ([expect_timed] off). *)
+  let try_timed ctx ~expect_timed =
+    let held = Atomic.make false and release_now = Atomic.make false in
+    let r = Range.v ~lo:0 ~hi:8 in
+    let holder =
+      Domain.spawn (fun () ->
+          guard ctx "holder" @@ fun () ->
+          let h = R.write_acquire ctx.lock r in
+          Atomic.set held true;
+          spin_until (fun () -> Atomic.get release_now);
+          R.release ctx.lock h)
+    in
+    spin_until (fun () -> Atomic.get held);
+    (match R.try_write_acquire ctx.lock r with
+     | Some h ->
+       fail ctx "try-timed: try_write granted under a conflicting writer";
+       R.release ctx.lock h
+     | None -> ());
+    (match
+       R.write_acquire_opt ctx.lock ~deadline_ns:(Clock.now_ns () + 2_000_000) r
+     with
+     | Some h ->
+       fail ctx "try-timed: short-deadline write granted under a conflict";
+       R.release ctx.lock h
+     | None -> ());
+    (match
+       R.read_acquire_opt ctx.lock ~deadline_ns:(Clock.now_ns () + 2_000_000) r
+     with
+     | Some h ->
+       fail ctx "try-timed: short-deadline read granted under a writer";
+       R.release ctx.lock h
+     | None -> ());
+    Atomic.set release_now true;
+    Domain.join holder;
+    if expect_timed then
+      match
+        R.write_acquire_opt ctx.lock
+          ~deadline_ns:(Clock.now_ns () + 2_000_000_000)
+          r
+      with
+      | Some h -> R.release ctx.lock h
+      | None ->
+        fail ctx "try-timed: generous-deadline write refused on a free lock"
+
+  (* Mixed blocking/try/timed churn under an armed fault plan; afterwards
+     the offline check proves every grant was released exactly once (no
+     residue, no double release) despite the perturbed schedules. *)
+  let chaos_release ctx =
+    let body id =
+      guard ctx "worker" @@ fun () ->
+      let rng = Prng.create ~seed:((ctx.seed * 0x517CC1B7) + ((id + 1) * 65537)) in
+      for _ = 1 to ctx.iters do
+        let w = 1 + Prng.below rng 8 in
+        let lo = Prng.below rng (max 1 (ctx.slots - w)) in
+        let r = Range.v ~lo ~hi:(lo + w) in
+        let reader = Prng.bool rng ~p:0.4 in
+        let h =
+          match Prng.below rng 3 with
+          | 0 ->
+            Some
+              (if reader then R.read_acquire ctx.lock r
+               else R.write_acquire ctx.lock r)
+          | 1 ->
+            if reader then R.try_read_acquire ctx.lock r
+            else R.try_write_acquire ctx.lock r
+          | _ ->
+            let deadline_ns = Clock.now_ns () + 50_000 + Prng.below rng 200_000 in
+            if reader then R.read_acquire_opt ctx.lock ~deadline_ns r
+            else R.write_acquire_opt ctx.lock ~deadline_ns r
+        in
+        match h with
+        | Some h ->
+          hold rng;
+          R.release ctx.lock h
+        | None -> ()
+      done
+    in
+    join_all (spawn_all ctx.domains body)
+
+  let default_chaos_plan seed =
+    Fault.plan ~seed ~p:0.15 ~relax_spins:64 ~delay_ns:20_000 ()
+
+  let run ?(domains = 4) ?(iters = 120) ?(slots = 64) ?(seeds = [ 1; 2 ]) ?plan
+      ?(expect_disjoint = true) ?(expect_sharing = true) ?(expect_timed = true)
+      ?only () =
+    let wanted name =
+      match only with None -> true | Some names -> List.mem name names
+    in
+    let run_one ~scenario ~seed ~chaos f =
+      let ctx =
+        { lock = R.create ();
+          domains;
+          iters;
+          slots;
+          seed;
+          err_mu = Mutex.create ();
+          errors = [] }
+      in
+      let oracle = Oracle.create () in
+      (match (plan, chaos) with
+       | Some mk, _ -> Fault.arm (mk seed)
+       | None, true -> Fault.arm (default_chaos_plan seed)
+       | None, false -> ());
+      History.arm ~sink:(Oracle.sink oracle) ();
+      guard ctx "scenario" (fun () -> f ctx);
+      History.disarm ();
+      Fault.disarm ();
+      let events = History.drain () in
+      let dropped = History.dropped () in
+      let report = Oracle.check ~dropped events in
+      let online = Oracle.violation_count oracle in
+      let errs = List.rev ctx.errors in
+      let ok = errs = [] && Oracle.ok report && online = 0 in
+      let detail =
+        Format.asprintf "%s: %a%s%s" M.name Oracle.pp_report report
+          (match errs with
+           | [] -> ""
+           | l -> "\n  " ^ String.concat "\n  " l)
+          (if ok then "" else Format.asprintf "\n  replay: seed %d" seed)
+      in
+      { scenario; seed; ok; detail }
+    in
+    List.concat_map
+      (fun seed ->
+        List.filter_map
+          (fun (name, chaos, f) ->
+            if wanted name then Some (run_one ~scenario:name ~seed ~chaos f)
+            else None)
+          [ ("overlap-exclusion", false, overlap_exclusion);
+            ( "adjacent-independence",
+              false,
+              fun ctx -> adjacent_independence ctx ~expect_disjoint );
+            ( "reader-sharing",
+              false,
+              fun ctx -> reader_sharing ctx ~expect_sharing );
+            ("try-timed", false, fun ctx -> try_timed ctx ~expect_timed);
+            ("chaos-release", true, chaos_release) ])
+      seeds
+end

@@ -1,0 +1,70 @@
+(** Cross-implementation conformance suite.
+
+    One shared scenario battery, instantiated over every range-lock
+    implementation satisfying {!Rlk.Intf.RW} (exclusive-only locks
+    participate through [Rlk.Intf.Rw_of_mutex]). Each scenario runs the
+    lock wrapped in {!Record.Make} with {!Rlk.History} armed, then feeds
+    the drained history to the {!Oracle} — so every scenario checks both
+    its own explicit assertions and global overlap/residue safety.
+
+    Scenarios (names usable with [?only]):
+    - ["overlap-exclusion"] — random mixed reader/writer churn over
+      overlapping ranges; the oracle flags any granted conflicting
+      overlap;
+    - ["adjacent-independence"] — holding [k, k+1) must refuse a
+      conflicting try on the same cell; grantability of the free adjacent
+      cell is asserted only under [~expect_disjoint] (coarse baselines
+      like the stock whole-file-token locks legitimately serialize it);
+      plus violation-free disjoint striped churn;
+    - ["reader-sharing"] — a writer is never granted under a live reader
+      (universal); a second reader is granted only under
+      [~expect_sharing] (exclusive-only locks deny it);
+    - ["try-timed"] — conflicting [try_*] and short-deadline [*_opt]
+      attempts fail cleanly and (via the offline residue check) leave no
+      state behind; a generous deadline on a free lock succeeds;
+    - ["chaos-release"] — mixed blocking/try/timed churn under an armed
+      {!Rlk_chaos.Fault} plan; afterwards the oracle proves every grant
+      was released exactly once.
+
+    Every run is a deterministic function of its seed (workload PRNGs and
+    the fault plan both derive from it); failures embed
+    ["replay: seed N"]. Scheduling itself is not controlled, so replaying
+    a seed reproduces the same workload and fault schedule, not
+    necessarily the same interleaving. *)
+
+type outcome = {
+  scenario : string;
+  seed : int;
+  ok : bool;
+  detail : string;  (** oracle report, assertion failures, replay seed *)
+}
+
+val scenario_names : string list
+
+val failures : outcome list -> outcome list
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+module Make (M : Rlk.Intf.RW) : sig
+  val run :
+    ?domains:int ->
+    ?iters:int ->
+    ?slots:int ->
+    ?seeds:int list ->
+    ?plan:(int -> Rlk_chaos.Fault.plan) ->
+    ?expect_disjoint:bool ->
+    ?expect_sharing:bool ->
+    ?expect_timed:bool ->
+    ?only:string list ->
+    unit ->
+    outcome list
+  (** Run the battery once per seed. Defaults: 4 domains, 120 iterations
+      per domain, 64 range slots, seeds [[1; 2]], all capability flags on
+      ([expect_timed] off fits poll-derived timed acquisition that cannot
+      reclaim a token cached by an idle domain, e.g. the GPFS baseline).
+      [?plan] overrides the fault plan for {e every} scenario (the
+      hook for catching deliberately broken implementations via unsound
+      skip points); without it only ["chaos-release"] arms a default
+      soundness-preserving plan. The caller must ensure no other
+      {!Rlk.History} or {!Rlk_chaos.Fault} user is active. *)
+end

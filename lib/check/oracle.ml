@@ -1,0 +1,181 @@
+open Rlk_primitives
+module It = Rlk_rbtree.Interval_tree
+module History = Rlk.History
+
+type hold = {
+  span : int;
+  lock : string;
+  domain : int;
+  mode : Lockstat.mode;
+  lo : int;
+  hi : int;
+  seq : int;
+}
+
+let hold_of_event (e : History.event) =
+  { span = e.History.span;
+    lock = e.History.lock;
+    domain = e.History.domain;
+    mode = e.History.mode;
+    lo = e.History.lo;
+    hi = e.History.hi;
+    seq = e.History.seq }
+
+type violation =
+  | Overlap of { first : hold; second : hold }
+  | Unmatched_release of { lock : string; span : int; domain : int; seq : int }
+
+(* At most this many violations are kept verbatim; the rest are counted.
+   One real bug typically floods the log with secondary overlaps. *)
+let keep_violations = 32
+
+type t = {
+  mu : Mutex.t;
+  trees : (string, hold It.t) Hashtbl.t; (* live holds, one tree per lock *)
+  nodes : (int, hold It.node * hold It.t) Hashtbl.t; (* span -> its node *)
+  mutable violations : violation list; (* newest first, capped *)
+  mutable n_violations : int;
+  mutable acquired : int;
+  mutable released : int;
+  mutable failed : int;
+}
+
+let create () =
+  { mu = Mutex.create ();
+    trees = Hashtbl.create 8;
+    nodes = Hashtbl.create 1024;
+    violations = [];
+    n_violations = 0;
+    acquired = 0;
+    released = 0;
+    failed = 0 }
+
+let add_violation t v =
+  t.n_violations <- t.n_violations + 1;
+  if t.n_violations <= keep_violations then t.violations <- v :: t.violations
+
+let tree_for t lock =
+  match Hashtbl.find_opt t.trees lock with
+  | Some tree -> tree
+  | None ->
+    let tree = It.create () in
+    Hashtbl.add t.trees lock tree;
+    tree
+
+(* The conflict relation of every range lock: two overlapping holds may
+   coexist only when both are readers. *)
+let conflicting a b =
+  a.mode = Lockstat.Write || b.mode = Lockstat.Write
+
+let observe_locked t (e : History.event) =
+  match e.History.kind with
+  | History.Acquired ->
+    t.acquired <- t.acquired + 1;
+    let h = hold_of_event e in
+    let tree = tree_for t e.History.lock in
+    It.iter_overlaps tree ~lo:h.lo ~hi:h.hi (fun n ->
+        let other = It.data n in
+        if conflicting h other then
+          add_violation t (Overlap { first = other; second = h }));
+    let node = It.insert tree ~lo:h.lo ~hi:h.hi h in
+    Hashtbl.replace t.nodes h.span (node, tree)
+  | History.Released -> begin
+      t.released <- t.released + 1;
+      match Hashtbl.find_opt t.nodes e.History.span with
+      | Some (node, tree) ->
+        It.remove tree node;
+        Hashtbl.remove t.nodes e.History.span
+      | None ->
+        add_violation t
+          (Unmatched_release
+             { lock = e.History.lock;
+               span = e.History.span;
+               domain = e.History.domain;
+               seq = e.History.seq })
+    end
+  | History.Failed -> t.failed <- t.failed + 1
+
+let observe t e =
+  Mutex.lock t.mu;
+  observe_locked t e;
+  Mutex.unlock t.mu
+
+let sink t = observe t
+
+let open_spans t =
+  Mutex.lock t.mu;
+  let holds = Hashtbl.fold (fun _ ((n : hold It.node), _) acc -> It.data n :: acc) t.nodes [] in
+  Mutex.unlock t.mu;
+  List.sort (fun a b -> compare a.seq b.seq) holds
+
+let violations t =
+  Mutex.lock t.mu;
+  let vs = List.rev t.violations in
+  Mutex.unlock t.mu;
+  vs
+
+let violation_count t =
+  Mutex.lock t.mu;
+  let n = t.n_violations in
+  Mutex.unlock t.mu;
+  n
+
+(* ---------------- offline checking ---------------- *)
+
+type report = {
+  events : int;
+  acquired : int;
+  released : int;
+  failed : int;
+  violations : violation list;
+  violation_total : int;
+  open_spans : hold list;
+  truncated : bool;
+}
+
+let check ?(dropped = 0) events =
+  let o = create () in
+  let ordered =
+    List.sort (fun (a : History.event) b -> compare a.History.seq b.History.seq)
+      events
+  in
+  List.iter (observe_locked o) ordered;
+  { events = List.length ordered;
+    acquired = o.acquired;
+    released = o.released;
+    failed = o.failed;
+    violations = List.rev o.violations;
+    violation_total = o.n_violations;
+    open_spans = open_spans o;
+    truncated = dropped > 0 }
+
+(* A truncated recording cannot distinguish an open span from a dropped
+   Released, so residue checking is waived for it (but overlaps seen in
+   what WAS recorded still count). *)
+let ok r =
+  r.violation_total = 0 && (r.truncated || r.open_spans = [])
+
+let mode_label = function Lockstat.Read -> "reader" | Lockstat.Write -> "writer"
+
+let pp_hold ppf h =
+  Format.fprintf ppf "%s %s [%d, %d) span=%d dom=%d seq=%d" h.lock
+    (mode_label h.mode) h.lo h.hi h.span h.domain h.seq
+
+let pp_violation ppf = function
+  | Overlap { first; second } ->
+    Format.fprintf ppf "overlap: {%a} vs {%a}" pp_hold first pp_hold second
+  | Unmatched_release { lock; span; domain; seq } ->
+    Format.fprintf ppf "unmatched release: %s span=%d dom=%d seq=%d" lock span
+      domain seq
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%d events (%d acquired, %d released, %d failed), %d violations, %d open \
+     spans%s"
+    r.events r.acquired r.released r.failed r.violation_total
+    (List.length r.open_spans)
+    (if r.truncated then " [TRUNCATED]" else "");
+  List.iter (fun v -> Format.fprintf ppf "@.  %a" pp_violation v) r.violations;
+  List.iter
+    (fun h -> Format.fprintf ppf "@.  open: %a" pp_hold h)
+    r.open_spans

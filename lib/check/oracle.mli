@@ -1,0 +1,88 @@
+(** Interval-overlap oracle over {!Rlk.History} event streams.
+
+    The oracle replays acquisition/release events against a per-lock
+    interval tree of live holds and flags every exclusive/exclusive or
+    writer/reader overlap, plus releases of spans it never saw acquired.
+    Because instrumented locks record [Acquired] strictly after the grant
+    and [Released] strictly before the surrender (see {!Rlk.History}), any
+    overlap the oracle reports is a real mutual-exclusion violation — there
+    are no false positives. False negatives are possible (the recorded
+    window under-approximates the hold), which is why the conformance
+    suite hammers each scenario under many seeds.
+
+    Two usage styles:
+    - {e online}: pass {!sink} to [History.arm ~sink] and poll
+      {!violation_count} while the workload runs;
+    - {e offline}: drain the history after the run and feed it to
+      {!check}, which also verifies that no span is left open — in
+      particular that timed/cancelled [acquire_opt] attempts leave no
+      residual state. *)
+
+type hold = {
+  span : int;
+  lock : string;
+  domain : int;
+  mode : Rlk_primitives.Lockstat.mode;
+  lo : int;
+  hi : int;
+  seq : int;
+}
+
+type violation =
+  | Overlap of { first : hold; second : hold }
+      (** two simultaneously live overlapping holds, at least one a
+          writer; [first] was acquired earlier *)
+  | Unmatched_release of { lock : string; span : int; domain : int; seq : int }
+      (** a [Released] event whose span was not live — double release or a
+          release invented out of thin air *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> Rlk.History.event -> unit
+(** Feed one event. Thread-safe (a mutex serializes observers), so it can
+    run concurrently with the workload as a history sink. *)
+
+val sink : t -> Rlk.History.sink
+(** [sink t] is [observe t], shaped for [History.arm ~sink]. *)
+
+val violations : t -> violation list
+(** Violations seen so far, oldest first. Capped at an internal limit
+    (one real bug floods the log with secondary overlaps); see
+    {!violation_count} for the true total. *)
+
+val violation_count : t -> int
+
+val open_spans : t -> hold list
+(** Holds currently live according to the event stream, in [seq] order.
+    Non-empty after quiescence means leaked (never-released) handles. *)
+
+(** {1 Offline whole-run checking} *)
+
+type report = {
+  events : int;
+  acquired : int;
+  released : int;
+  failed : int;
+  violations : violation list;  (** capped; oldest first *)
+  violation_total : int;
+  open_spans : hold list;  (** spans never released — residual state *)
+  truncated : bool;
+      (** the recording dropped events ([History.dropped () > 0]); open
+          spans are then unreliable and not counted against {!ok} *)
+}
+
+val check : ?dropped:int -> Rlk.History.event list -> report
+(** Replay a full (drained) history in [seq] order. Pass
+    [~dropped:(History.dropped ())] so a truncated recording does not
+    report dropped releases as leaks. *)
+
+val ok : report -> bool
+(** No violations, and (unless truncated) no open spans. *)
+
+val pp_hold : Format.formatter -> hold -> unit
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,70 @@
+open Rlk_primitives
+module History = Rlk.History
+module Range = Rlk.Range
+
+(* The wrapper deliberately does NOT forward [?stats] to the wrapped
+   implementation: the list-based locks record natively when they carry a
+   stats hook, and forwarding would double-record every hold — each
+   acquisition would appear as two overlapping same-range spans and the
+   oracle would report a phantom violation. A recorded lock is therefore
+   observed through exactly one layer: this wrapper. *)
+
+module Make (M : Rlk.Intf.RW) :
+  Rlk.Intf.RW with type t = M.t = struct
+  type t = M.t
+
+  type handle = {
+    h : M.handle;
+    span : int;
+    mode : Lockstat.mode;
+    lo : int;
+    hi : int;
+  }
+
+  let name = M.name
+
+  let create ?stats:_ () = M.create ()
+
+  let record_acquired ~mode r h =
+    let lo = Range.lo r and hi = Range.hi r in
+    let span =
+      if Atomic.get History.enabled then
+        History.acquired ~lock:M.name ~mode ~lo ~hi
+      else -1
+    in
+    { h; span; mode; lo; hi }
+
+  let record_failed ~mode r =
+    if Atomic.get History.enabled then
+      History.failed ~lock:M.name ~mode ~lo:(Range.lo r) ~hi:(Range.hi r)
+
+  let read_acquire t r =
+    record_acquired ~mode:Lockstat.Read r (M.read_acquire t r)
+
+  let write_acquire t r =
+    record_acquired ~mode:Lockstat.Write r (M.write_acquire t r)
+
+  let record_opt ~mode r = function
+    | Some h -> Some (record_acquired ~mode r h)
+    | None -> record_failed ~mode r; None
+
+  let try_read_acquire t r =
+    record_opt ~mode:Lockstat.Read r (M.try_read_acquire t r)
+
+  let try_write_acquire t r =
+    record_opt ~mode:Lockstat.Write r (M.try_write_acquire t r)
+
+  let read_acquire_opt t ~deadline_ns r =
+    record_opt ~mode:Lockstat.Read r (M.read_acquire_opt t ~deadline_ns r)
+
+  let write_acquire_opt t ~deadline_ns r =
+    record_opt ~mode:Lockstat.Write r (M.write_acquire_opt t ~deadline_ns r)
+
+  let release t { h; span; mode; lo; hi } =
+    if span >= 0 then History.released ~lock:M.name ~span ~mode ~lo ~hi;
+    M.release t h
+end
+
+let wrap (impl : Rlk.Intf.rw_impl) : Rlk.Intf.rw_impl =
+  let module M = (val impl) in
+  (module Make (M))

@@ -1,0 +1,17 @@
+(** Wrap any reader-writer range lock so every acquisition, release and
+    failed attempt is recorded into {!Rlk.History} (when armed).
+
+    [Acquired] is recorded strictly after the wrapped lock returns and
+    [Released] strictly before it is invoked, preserving the oracle's
+    no-false-positive guarantee (the recorded window is a subset of the
+    real hold).
+
+    The wrapper intentionally ignores the [?stats] argument of [create]
+    instead of forwarding it: the list-based locks record natively when
+    given a stats hook, and stacking both recorders would double-record
+    each hold as two overlapping spans — a phantom violation. *)
+
+module Make (M : Rlk.Intf.RW) : Rlk.Intf.RW with type t = M.t
+
+val wrap : Rlk.Intf.rw_impl -> Rlk.Intf.rw_impl
+(** First-class-module form of {!Make} for the benchmark registry. *)

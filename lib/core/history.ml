@@ -1,0 +1,122 @@
+open Rlk_primitives
+
+type kind = Acquired | Released | Failed
+
+type event = {
+  seq : int;
+  kind : kind;
+  span : int;
+  lock : string;
+  domain : int;
+  mode : Lockstat.mode;
+  lo : int;
+  hi : int;
+  t_ns : int;
+}
+
+let enabled = Atomic.make false
+
+(* Monotonic stamps shared by every recording domain. [seq] linearizes the
+   log: an Acquired stamp is drawn only after the lock internally granted,
+   and a Released stamp strictly before it internally releases, so two
+   spans that overlap in [seq] order overlapped in real time. *)
+let seq_counter = Atomic.make 0
+
+let span_counter = Atomic.make 0
+
+(* Per-domain-slot buffers, written only by the owning domain. Events are
+   prepended (cheap); [drain] restores global order by sorting on [seq].
+   Reading another slot's buffer is only done from [drain], which callers
+   run after the recording domains have quiesced (joined). *)
+type slot = { mutable events : event list; mutable len : int }
+
+let slots = Array.init Domain_id.capacity (fun _ -> { events = []; len = 0 })
+
+let capacity_cell = Atomic.make 1_048_576
+
+let dropped_counters = Padded_counters.create ~slots:Domain_id.capacity
+
+type sink = event -> unit
+
+let sink_cell : sink option Atomic.t = Atomic.make None
+
+let clear () =
+  Array.iter
+    (fun s ->
+       s.events <- [];
+       s.len <- 0)
+    slots;
+  Padded_counters.reset dropped_counters
+
+let arm ?(capacity = 1_048_576) ?sink () =
+  if capacity <= 0 then invalid_arg "History.arm: capacity must be positive";
+  clear ();
+  Atomic.set seq_counter 0;
+  Atomic.set span_counter 0;
+  (* Publish configuration before flipping the armed flag. *)
+  Atomic.set capacity_cell capacity;
+  Atomic.set sink_cell sink;
+  Atomic.set enabled true
+
+let disarm () =
+  Atomic.set enabled false;
+  Atomic.set sink_cell None
+
+let armed () = Atomic.get enabled
+
+let dropped () = Padded_counters.sum dropped_counters
+
+let record ~kind ~span ~lock ~mode ~lo ~hi =
+  if Atomic.get enabled then begin
+    let me = Domain_id.get () in
+    let ev =
+      { seq = Atomic.fetch_and_add seq_counter 1;
+        kind; span; lock; domain = me; mode; lo; hi;
+        t_ns = Clock.now_ns () }
+    in
+    (* The sink (an online checker) sees every event, even when the buffer
+       is full — dropping a Released from the sink would fake a leak. *)
+    (match Atomic.get sink_cell with None -> () | Some f -> f ev);
+    let s = slots.(me) in
+    if s.len >= Atomic.get capacity_cell then
+      Padded_counters.incr dropped_counters me
+    else begin
+      s.events <- ev :: s.events;
+      s.len <- s.len + 1
+    end
+  end
+
+let acquired ~lock ~mode ~lo ~hi =
+  let span = Atomic.fetch_and_add span_counter 1 in
+  record ~kind:Acquired ~span ~lock ~mode ~lo ~hi;
+  span
+
+let released ~lock ~span ~mode ~lo ~hi =
+  record ~kind:Released ~span ~lock ~mode ~lo ~hi
+
+let failed ~lock ~mode ~lo ~hi =
+  record ~kind:Failed ~span:(-1) ~lock ~mode ~lo ~hi
+
+let drain () =
+  let all =
+    Array.fold_left
+      (fun acc s ->
+         let evs = s.events in
+         s.events <- [];
+         s.len <- 0;
+         List.rev_append evs acc)
+      [] slots
+  in
+  List.sort (fun a b -> compare a.seq b.seq) all
+
+let mode_label = function Lockstat.Read -> "r" | Lockstat.Write -> "w"
+
+let kind_label = function
+  | Acquired -> "acquired"
+  | Released -> "released"
+  | Failed -> "failed"
+
+let pp_event ppf e =
+  Format.fprintf ppf "#%d %s %s/%s [%d, %d) span=%d dom=%d t=%dns" e.seq
+    e.lock (kind_label e.kind) (mode_label e.mode) e.lo e.hi e.span e.domain
+    e.t_ns

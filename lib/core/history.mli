@@ -1,0 +1,84 @@
+(** Acquisition/release history recording for the verification oracle
+    (see [lib/check] and doc/testing.md).
+
+    A process-global, armable event log in the style of
+    {!Rlk_chaos.Fault}: with recording disarmed every query is one atomic
+    load and a branch, so instrumented hot paths cost nothing in normal
+    runs. Armed, each successful acquisition draws a unique {e span} id and
+    appends an {!Acquired} event to the recording domain's buffer; the
+    matching release appends {!Released} with the same span, and failed or
+    timed-out attempts append {!Failed}. A global sequence counter
+    linearizes the log: implementations record {!Acquired} strictly after
+    the lock is internally granted and {!Released} strictly before it is
+    internally surrendered, so the recorded [seq] window of a span is a
+    subset of the real hold — any overlap between two recorded windows is a
+    real overlap (no false positives).
+
+    The list-based locks record natively when created with [?stats] (the
+    observability hook) while recording is armed; every other
+    implementation is recorded by wrapping it in [Rlk_check.Record]. *)
+
+type kind =
+  | Acquired  (** a successful acquisition; opens a span *)
+  | Released  (** the matching release; closes the span *)
+  | Failed    (** a [try_*] or [*_opt] attempt that did not acquire *)
+
+type event = {
+  seq : int;      (** global linearization stamp *)
+  kind : kind;
+  span : int;     (** unique per acquisition; [-1] for {!Failed} *)
+  lock : string;  (** the implementation's [name] *)
+  domain : int;   (** recording domain's {!Rlk_primitives.Domain_id} slot *)
+  mode : Rlk_primitives.Lockstat.mode;
+  lo : int;
+  hi : int;
+  t_ns : int;     (** wall-clock diagnostic timestamp; [seq] is the order *)
+}
+
+val enabled : bool Atomic.t
+(** Armed flag; treat as read-only. Call sites guard with
+    [if Atomic.get History.enabled then ...] so the disarmed cost is one
+    load and branch. The record functions re-check internally. *)
+
+type sink = event -> unit
+
+val arm : ?capacity:int -> ?sink:sink -> unit -> unit
+(** Clear all buffers and start recording. [capacity] bounds the number of
+    buffered events per domain slot (default [1_048_576]); events beyond it
+    are counted in {!dropped} instead of stored. [sink] is called
+    synchronously with every event as it is recorded — the online oracle
+    hook — including events dropped from the buffers. Arm while the
+    instrumented locks are quiesced. *)
+
+val disarm : unit -> unit
+(** Stop recording (buffers are kept for {!drain}). *)
+
+val armed : unit -> bool
+
+val acquired :
+  lock:string -> mode:Rlk_primitives.Lockstat.mode -> lo:int -> hi:int -> int
+(** Record a successful acquisition; returns the fresh span id (or records
+    nothing and returns a dead id when disarmed). Call only after the lock
+    has actually been granted. *)
+
+val released :
+  lock:string -> span:int -> mode:Rlk_primitives.Lockstat.mode ->
+  lo:int -> hi:int -> unit
+(** Record the release of [span]. Call before the lock is actually
+    surrendered. *)
+
+val failed :
+  lock:string -> mode:Rlk_primitives.Lockstat.mode -> lo:int -> hi:int -> unit
+(** Record an acquisition attempt that returned [None]. *)
+
+val drain : unit -> event list
+(** All buffered events in [seq] order, clearing the buffers. Call after
+    the recording domains have quiesced (e.g. joined); draining while
+    domains are still recording loses events. *)
+
+val dropped : unit -> int
+(** Events discarded because a domain buffer hit [capacity] since the last
+    {!arm}. A non-zero value means {!drain} is incomplete and open spans
+    cannot be distinguished from leaks. *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -35,6 +35,29 @@ exception Out_of_budget
 exception Would_block
 exception Timed_out
 
+(* History hooks for the verification oracle (lib/check): live only when
+   the lock carries the [?stats] observability hook AND recording is
+   armed; see the twin comment in list_rw.ml. The exclusive lock always
+   records Write mode. *)
+let hist_acquired t (node : Node.t) =
+  if Atomic.get History.enabled && Option.is_some t.stats then
+    node.Node.span <-
+      History.acquired ~lock:name ~mode:Lockstat.Write ~lo:node.Node.lo
+        ~hi:node.Node.hi
+
+let hist_failed t r =
+  if Atomic.get History.enabled && Option.is_some t.stats then
+    History.failed ~lock:name ~mode:Lockstat.Write ~lo:(Range.lo r)
+      ~hi:(Range.hi r)
+
+let hist_released (node : Node.t) =
+  if node.Node.span >= 0 then begin
+    if Atomic.get History.enabled then
+      History.released ~lock:name ~span:node.Node.span ~mode:Lockstat.Write
+        ~lo:node.Node.lo ~hi:node.Node.hi;
+    node.Node.span <- -1
+  end
+
 (* Wait (publishing on the waitboard) until [c] is marked deleted; raises
    [Timed_out] past an absolute deadline ([max_int] = wait forever). *)
 let wait_marked t (node : Node.t) (c : Node.t) ~deadline_ns =
@@ -147,6 +170,7 @@ let acquire t r =
   else ignore (insert t session node ~blocking:true ~deadline_ns:max_int);
   Fairgate.finish session;
   Metrics.acquisition t.metrics;
+  hist_acquired t node;
   (match t.stats with
    | None -> ()
    | Some s -> Lockstat.add s Lockstat.Write (Clock.now_ns () - t0));
@@ -158,15 +182,18 @@ let try_acquire t r =
   if fast_path_acquire t node then begin
     Metrics.fast_path_hit t.metrics;
     Metrics.acquisition t.metrics;
+    hist_acquired t node;
     Some node
   end
   else if insert t session node ~blocking:false ~deadline_ns:max_int then begin
     Metrics.acquisition t.metrics;
+    hist_acquired t node;
     Some node
   end
   else begin
     (* The node never made it into the list; recycle it directly. *)
     Node.retire node;
+    hist_failed t r;
     None
   end
 
@@ -193,6 +220,7 @@ let acquire_opt t ~deadline_ns r =
   Fairgate.finish session;
   if acquired then begin
     Metrics.acquisition t.metrics;
+    hist_acquired t node;
     (match t.stats with
      | None -> ()
      | Some s -> Lockstat.add s Lockstat.Write (Clock.now_ns () - t0));
@@ -200,6 +228,7 @@ let acquire_opt t ~deadline_ns r =
   end
   else begin
     Metrics.timeout t.metrics;
+    hist_failed t r;
     None
   end
 
@@ -213,6 +242,7 @@ let mark_deleted node =
   go ()
 
 let release t node =
+  hist_released node;
   if Atomic.get Fault.enabled then Fault.delay fp_release;
   if t.fast_path then begin
     let l = Atomic.get t.head in

@@ -46,6 +46,31 @@ exception Would_block
 exception Validation_failed
 exception Timed_out
 
+(* History hooks for the verification oracle (lib/check): live only when
+   the lock carries the [?stats] observability hook AND recording is
+   armed, so the default configuration pays one load-and-branch. Acquired
+   is recorded strictly after the grant and Released strictly before the
+   node is marked, keeping every recorded span inside the real hold. *)
+let hist_acquired t (node : Node.t) =
+  if Atomic.get History.enabled && Option.is_some t.stats then
+    node.Node.span <-
+      History.acquired ~lock:name
+        ~mode:(if node.Node.reader then Lockstat.Read else Lockstat.Write)
+        ~lo:node.Node.lo ~hi:node.Node.hi
+
+let hist_failed t ~mode r =
+  if Atomic.get History.enabled && Option.is_some t.stats then
+    History.failed ~lock:name ~mode ~lo:(Range.lo r) ~hi:(Range.hi r)
+
+let hist_released (node : Node.t) =
+  if node.Node.span >= 0 then begin
+    if Atomic.get History.enabled then
+      History.released ~lock:name ~span:node.Node.span
+        ~mode:(if node.Node.reader then Lockstat.Read else Lockstat.Write)
+        ~lo:node.Node.lo ~hi:node.Node.hi;
+    node.Node.span <- -1
+  end
+
 (* The paper's reader-writer [compare] (Listing 2): position of [node]
    relative to [cur]. Overlapping readers order by start. *)
 type position = Cur_precedes | Node_precedes | Conflict
@@ -287,6 +312,7 @@ let acquire t ~mode r =
   let node = acquire_blocking t session ~reader r in
   Fairgate.finish session;
   Metrics.acquisition t.metrics;
+  hist_acquired t node;
   (match t.stats with
    | None -> ()
    | Some s -> Lockstat.add s mode (Clock.now_ns () - t0));
@@ -302,6 +328,7 @@ let try_acquire_nb t ~reader r =
   if fast_path_acquire t node then begin
     Metrics.fast_path_hit t.metrics;
     Metrics.acquisition t.metrics;
+    hist_acquired t node;
     Some node
   end
   else begin
@@ -313,15 +340,18 @@ let try_acquire_nb t ~reader r =
     | () ->
       Epoch.leave Node.epoch;
       Metrics.acquisition t.metrics;
+      hist_acquired t node;
       Some node
     | exception Would_block ->
       Epoch.leave Node.epoch;
       (* Never linked: recycle directly. *)
       Node.retire node;
+      hist_failed t ~mode:(if reader then Lockstat.Read else Lockstat.Write) r;
       None
     | exception Validation_failed ->
       (* Linked then self-deleted; others will unlink it. *)
       Epoch.leave Node.epoch;
+      hist_failed t ~mode:(if reader then Lockstat.Read else Lockstat.Write) r;
       None
     | exception e -> Epoch.leave Node.epoch; raise e
   end
@@ -368,12 +398,15 @@ let acquire_opt t ~mode ~deadline_ns r =
   let result = attempt (Node.alloc ~reader r) in
   Fairgate.finish session;
   (match result with
-   | Some _ ->
+   | Some node ->
      Metrics.acquisition t.metrics;
+     hist_acquired t node;
      (match t.stats with
       | None -> ()
       | Some s -> Lockstat.add s mode (Clock.now_ns () - t0))
-   | None -> Metrics.timeout t.metrics);
+   | None ->
+     Metrics.timeout t.metrics;
+     hist_failed t ~mode r);
   result
 
 let read_acquire_opt t ~deadline_ns r =
@@ -383,6 +416,7 @@ let write_acquire_opt t ~deadline_ns r =
   acquire_opt t ~mode:Lockstat.Write ~deadline_ns r
 
 let release t node =
+  hist_released node;
   if Atomic.get Fault.enabled then Fault.delay fp_release;
   if t.fast_path then begin
     let l = Atomic.get t.head in

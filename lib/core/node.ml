@@ -2,6 +2,7 @@ type t = {
   mutable lo : int;
   mutable hi : int;
   mutable reader : bool;
+  mutable span : int;
   next : link Atomic.t;
 }
 
@@ -17,7 +18,7 @@ let range_of n = Range.v ~lo:n.lo ~hi:n.hi
 
 let epoch = Rlk_ebr.Epoch.create ()
 
-let fresh () = { lo = 0; hi = 1; reader = false; next = Atomic.make nil }
+let fresh () = { lo = 0; hi = 1; reader = false; span = -1; next = Atomic.make nil }
 
 (* The paper uses N = 128; we use a larger pool because on an oversubscribed
    2-CPU host an epoch barrier that observes a descheduled traverser stalls
@@ -30,6 +31,7 @@ let alloc ~reader r =
   n.lo <- Range.lo r;
   n.hi <- Range.hi r;
   n.reader <- reader;
+  n.span <- -1;
   Atomic.set n.next nil;
   n
 

@@ -14,6 +14,9 @@ type t = {
   mutable lo : int;
   mutable hi : int;
   mutable reader : bool;
+  mutable span : int;
+      (** open {!History} span carried from acquisition to release; [-1]
+          when the hold is not being recorded *)
   next : link Atomic.t;
 }
 

@@ -3,6 +3,25 @@
 
 open Rlk
 
+(* One process-wide stress seed, overridable with RLK_SEED (the same knob
+   the torture harness takes via --seed). Every per-domain PRNG derives
+   from it, and a failed run prints it for replay. *)
+let base_seed =
+  match Sys.getenv_opt "RLK_SEED" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n -> n
+    | None ->
+      Printf.eprintf "stress: ignoring unparsable RLK_SEED=%S\n%!" s;
+      0xC0FFEE)
+  | None -> 0xC0FFEE
+
+let domain_seed ~salt id = (base_seed * 0x9E3779B1) + (id * salt) + 3
+
+let report_violation name =
+  Printf.eprintf "%s: exclusion violated; replay with RLK_SEED=%d\n%!" name
+    base_seed
+
 let make_barrier n =
   let waiting = Atomic.make n in
   fun () ->
@@ -54,7 +73,7 @@ let rw_stress (module L : Intf.RW_TRY) ~domains ~iters ~write_pct ~slots () =
   let barrier = make_barrier domains in
   let ds =
     spawn_n domains (fun id ->
-        let rng = Rlk_primitives.Prng.create ~seed:(id * 104729 + 3) in
+        let rng = Rlk_primitives.Prng.create ~seed:(domain_seed ~salt:104729 id) in
         barrier ();
         for _ = 1 to iters do
           let r = random_range rng ~slots in
@@ -66,6 +85,7 @@ let rw_stress (module L : Intf.RW_TRY) ~domains ~iters ~write_pct ~slots () =
         done)
   in
   join_all ds;
+  if Atomic.get c.violated then report_violation L.name;
   Atomic.get c.violated
 
 (* Exclusive-only stress over any MUTEX implementation. *)
@@ -75,7 +95,7 @@ let mutex_stress (module L : Intf.MUTEX_TRY) ~domains ~iters ~slots () =
   let barrier = make_barrier domains in
   let ds =
     spawn_n domains (fun id ->
-        let rng = Rlk_primitives.Prng.create ~seed:(id * 65537 + 11) in
+        let rng = Rlk_primitives.Prng.create ~seed:(domain_seed ~salt:65537 id) in
         barrier ();
         for _ = 1 to iters do
           let r = random_range rng ~slots in
@@ -86,4 +106,5 @@ let mutex_stress (module L : Intf.MUTEX_TRY) ~domains ~iters ~slots () =
         done)
   in
   join_all ds;
+  if Atomic.get c.violated then report_violation L.name;
   Atomic.get c.violated

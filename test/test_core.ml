@@ -93,6 +93,48 @@ let prop_subtract_partitions =
        | _ -> ());
       !ok)
 
+let range_pair_arb =
+  QCheck.(
+    map
+      (fun (a, la, b, lb) -> (range a (a + la + 1), range b (b + lb + 1)))
+      (quad (int_bound 60) (int_bound 20) (int_bound 60) (int_bound 20)))
+
+let prop_overlap_symmetric =
+  QCheck.Test.make ~name:"overlap is symmetric" ~count:500 range_pair_arb
+    (fun (r1, r2) -> Range.overlap r1 r2 = Range.overlap r2 r1)
+
+let prop_adjacent_not_overlapping =
+  (* Touching endpoints never overlap (half-open), but any 1-slot extension
+     across the boundary does — exactly the adjacency semantics the
+     adjacent-range lock scenarios rely on. *)
+  QCheck.Test.make ~name:"adjacency vs overlap at shared boundary" ~count:300
+    QCheck.(pair (int_bound 50) (pair (int_bound 15) (int_bound 15)))
+    (fun (k, (la, lb)) ->
+      let left = range k (k + la + 1) in
+      let right = range (k + la + 1) (k + la + lb + 2) in
+      (not (Range.overlap left right))
+      && Range.overlap left (range k (k + la + 2))
+      && Range.overlap (range (k + la + 1) (k + la + 2)) right)
+
+let prop_intersect_agrees_with_overlap =
+  QCheck.Test.make ~name:"intersect is Some iff overlap, and is the overlap"
+    ~count:500 range_pair_arb (fun (r1, r2) ->
+      match Range.intersect r1 r2 with
+      | None -> not (Range.overlap r1 r2)
+      | Some i ->
+        Range.overlap r1 r2
+        && Range.subsumes r1 i && Range.subsumes r2 i
+        && Range.lo i = max (Range.lo r1) (Range.lo r2)
+        && Range.hi i = min (Range.hi r1) (Range.hi r2))
+
+let prop_union_hull_normalizes =
+  QCheck.Test.make ~name:"union_hull is the least range covering both"
+    ~count:500 range_pair_arb (fun (r1, r2) ->
+      let h = Range.union_hull r1 r2 in
+      Range.subsumes h r1 && Range.subsumes h r2
+      && Range.lo h = min (Range.lo r1) (Range.lo r2)
+      && Range.hi h = max (Range.hi r1) (Range.hi r2))
+
 let prop_overlap_iff_common_point =
   QCheck.Test.make ~name:"overlap iff a common integer point" ~count:500
     QCheck.(quad (int_bound 60) (int_bound 20) (int_bound 60) (int_bound 20))
@@ -678,7 +720,9 @@ let () =
          Alcotest.test_case "set operations" `Quick test_range_ops;
          Alcotest.test_case "subtract" `Quick test_range_subtract ]);
       qsuite "range-property"
-        [ prop_overlap_iff_common_point; prop_subtract_partitions ];
+        [ prop_overlap_iff_common_point; prop_subtract_partitions;
+          prop_overlap_symmetric; prop_adjacent_not_overlapping;
+          prop_intersect_agrees_with_overlap; prop_union_hull_normalizes ];
       ("fairgate",
        [ Alcotest.test_case "disabled is noop" `Quick test_fairgate_disabled_noop;
          Alcotest.test_case "protocol" `Quick test_fairgate_protocol ]);

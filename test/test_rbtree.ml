@@ -306,6 +306,43 @@ let prop_itree_matches_naive =
            got = expect)
         [ (0, 1); (0, 200); (50, 60); (99, 140); (10, 11); (130, 131) ])
 
+let prop_iter_overlaps_sorted_and_exact =
+  (* iter_overlaps must visit exactly the overlapping intervals — the same
+     multiset a naive list filter finds — in non-decreasing lo order (the
+     tree walks in key order, keyed by lo). The conformance oracle's
+     active-holds index depends on both halves. *)
+  let iv_gen =
+    QCheck.Gen.(
+      map2 (fun lo len -> (lo, lo + 1 + len)) (int_bound 100) (int_bound 30))
+  in
+  let case_gen = QCheck.Gen.(pair (list_size (int_range 0 60) iv_gen) iv_gen) in
+  let arb =
+    QCheck.make case_gen ~print:(fun (ivs, (qlo, qhi)) ->
+        Printf.sprintf "%s ? [%d,%d)"
+          (String.concat ";"
+             (List.map (fun (lo, hi) -> Printf.sprintf "[%d,%d)" lo hi) ivs))
+          qlo qhi)
+  in
+  QCheck.Test.make ~name:"iter_overlaps is exact and lo-sorted" ~count:300 arb
+    (fun (ivs, (qlo, qhi)) ->
+      let t = It.create () in
+      List.iteri (fun i (lo, hi) -> ignore (It.insert t ~lo ~hi i)) ivs;
+      let visited = ref [] in
+      It.iter_overlaps t ~lo:qlo ~hi:qhi (fun n -> visited := It.data n :: !visited);
+      let visited = List.rev !visited in
+      let expect =
+        List.filteri (fun _ _ -> true) ivs
+        |> List.mapi (fun i iv -> (i, iv))
+        |> List.filter (fun (_, (lo, hi)) -> lo < qhi && qlo < hi)
+        |> List.map fst
+      in
+      let lo_of i = fst (List.nth ivs i) in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> lo_of a <= lo_of b && sorted rest
+        | _ -> true
+      in
+      List.sort compare visited = List.sort compare expect && sorted visited)
+
 let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
 
 let () =
@@ -329,4 +366,5 @@ let () =
        [ Alcotest.test_case "basic stabbing" `Quick test_itree_basic;
          Alcotest.test_case "duplicates" `Quick test_itree_duplicates;
          Alcotest.test_case "rejects empty interval" `Quick test_itree_rejects_empty ]);
-      qsuite "interval-property" [ prop_itree_matches_naive ] ]
+      qsuite "interval-property"
+        [ prop_itree_matches_naive; prop_iter_overlaps_sorted_and_exact ] ]

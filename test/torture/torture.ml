@@ -438,9 +438,12 @@ let cmd =
            ~doc:"Total wall-clock budget, split across sections.")
   in
   let seed =
-    Arg.(value & opt int 0 & info [ "seed" ]
-           ~doc:"Chaos schedule seed (0 = derive from the clock). The seed \
-                 is printed at startup; pass it back to replay a run.")
+    Arg.(value & opt int 0
+         & info [ "seed" ] ~env:(Cmd.Env.info "RLK_SEED")
+             ~doc:"Chaos schedule seed (0 = derive from the clock). The seed \
+                   is printed at startup; pass it back (or set \
+                   $(b,RLK_SEED), which the unit stress helpers also read) \
+                   to replay a run.")
   in
   let chaos =
     Arg.(value & flag & info [ "chaos" ]
