@@ -24,7 +24,7 @@ let name = "list-ex"
 let create ?stats ?(fast_path = false) ?fairness () =
   let board = Waitboard.create ~name in
   if Rlk_chaos.Watchdog.auto_watch () then Rlk_chaos.Watchdog.watch board;
-  { head = Atomic.make Node.nil;
+  { head = Padded_counters.atomic Node.nil;
     fast_path;
     gate = Option.map (fun patience -> Fairgate.create ~patience ()) fairness;
     stats;
@@ -160,7 +160,7 @@ let fast_path_acquire t node =
   let l = Atomic.get t.head in
   (not l.Node.marked)
   && l.Node.succ = None
-  && Atomic.compare_and_set t.head l (Node.link ~marked:true (Some node))
+  && Atomic.compare_and_set t.head l node.Node.self_link
 
 let acquire t r =
   let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in

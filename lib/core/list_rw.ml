@@ -33,7 +33,10 @@ let name = "list-rw"
 let create ?stats ?(fast_path = false) ?fairness ?(prefer = Prefer_readers) () =
   let board = Waitboard.create ~name in
   if Rlk_chaos.Watchdog.auto_watch () then Rlk_chaos.Watchdog.watch board;
-  { head = Atomic.make Node.nil;
+  (* The head is the hottest word of the lock: isolate it so concurrent
+     acquisitions on *other* locks (e.g. neighbouring shards of
+     Rlk_shard) never invalidate its cache line. *)
+  { head = Padded_counters.atomic Node.nil;
     fast_path;
     prefer;
     gate = Option.map (fun patience -> Fairgate.create ~patience ()) fairness;
@@ -266,12 +269,13 @@ let fast_path_acquire t node =
   let l = Atomic.get t.head in
   (not l.Node.marked)
   && l.Node.succ = None
-  && Atomic.compare_and_set t.head l (Node.link ~marked:true (Some node))
+  && Atomic.compare_and_set t.head l node.Node.self_link
 
 (* Blocking acquisition: loops on validation failures (fresh node each
    retry, as in Listing 2's do-while) and escalates through the fairness
    gate when the failure budget runs out. *)
-let acquire_blocking t session ~reader r =
+let acquire_blocking t session ~node r =
+  let reader = node.Node.reader in
   let failures = ref 0 in
   let rec attempt node =
     if fast_path_acquire t node then begin
@@ -303,24 +307,70 @@ let acquire_blocking t session ~reader r =
       | exception e -> Epoch.leave Node.epoch; raise e
     end
   in
-  attempt (Node.alloc ~reader r)
+  attempt node
 
 let acquire t ~mode r =
   let reader = match mode with Lockstat.Read -> true | Lockstat.Write -> false in
   let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in
-  let session = Fairgate.start t.gate in
-  let node = acquire_blocking t session ~reader r in
-  Fairgate.finish session;
-  Metrics.acquisition t.metrics;
-  hist_acquired t node;
-  (match t.stats with
-   | None -> ()
-   | Some s -> Lockstat.add s mode (Clock.now_ns () - t0));
-  node
+  (* Try the empty-list fast path before opening a fairness session: the
+     session (and the retry machinery behind it) only matters once we have
+     to insert into a non-empty list, and skipping it keeps the fast path
+     allocation-light. *)
+  let node = Node.alloc ~reader r in
+  if fast_path_acquire t node then begin
+    Metrics.fast_acquisition t.metrics;
+    hist_acquired t node;
+    (match t.stats with
+     | None -> ()
+     | Some s -> Lockstat.add s mode (Clock.now_ns () - t0));
+    node
+  end
+  else begin
+    let session = Fairgate.start t.gate in
+    let node = acquire_blocking t session ~node r in
+    Fairgate.finish session;
+    Metrics.acquisition t.metrics;
+    hist_acquired t node;
+    (match t.stats with
+     | None -> ()
+     | Some s -> Lockstat.add s mode (Clock.now_ns () - t0));
+    node
+  end
 
 let read_acquire t r = acquire t ~mode:Lockstat.Read r
 
 let write_acquire t r = acquire t ~mode:Lockstat.Write r
+
+(* Lean entry points for a composing frontend (lib/shard) whose sub-locks
+   carry no Lockstat and record no history — the frontend owns both, so
+   the per-acquisition stats/history branches of [acquire]/[release] are
+   dead weight on a path taken once per shard per operation. Metrics and
+   chaos fault points stay: observability and fault coverage do not
+   depend on which layer drove the acquisition. *)
+let sub_acquire t ~reader r =
+  let node = Node.alloc ~reader r in
+  if fast_path_acquire t node then begin
+    Metrics.fast_acquisition t.metrics;
+    node
+  end
+  else begin
+    let session = Fairgate.start t.gate in
+    let node = acquire_blocking t session ~node r in
+    Fairgate.finish session;
+    Metrics.acquisition t.metrics;
+    node
+  end
+
+let sub_release t node =
+  if Atomic.get Fault.enabled then Fault.delay fp_release;
+  if t.fast_path then begin
+    let l = Atomic.get t.head in
+    if l.Node.marked && Node.succ_is l node
+       && Atomic.compare_and_set t.head l Node.nil
+    then Node.retire node
+    else mark_deleted node
+  end
+  else mark_deleted node
 
 let try_acquire_nb t ~reader r =
   let session = Fairgate.start None in
@@ -446,6 +496,90 @@ let is_reader (n : handle) = n.Node.reader
 let metrics t = Metrics.snapshot t.metrics
 
 let reset_metrics t = Metrics.reset t.metrics
+
+(* Non-inserting conflict drain, the primitive behind the sharded
+   frontend's wide path (lib/shard): wait until no live node in this list
+   conflicts with [r] in the given mode, without ever linking a node of our
+   own. The caller has already made itself visible to future acquirers
+   (via the shard revocation counters), so a clean pass here means every
+   conflicting holder that could precede us has released. Waits terminate:
+   an unmarked conflicting node either completes and is marked by release,
+   or observes the caller's revocation counter and marks itself to
+   retreat. Returns [false] when non-blocking (or past the deadline) with
+   a conflict still live. *)
+let rec drain_conflicts t ~reader ~blocking ~deadline_ns r =
+  let l0 = Atomic.get t.head in
+  if (not l0.Node.marked) && l0.Node.succ = None then
+    (* Empty list: no holder to wait for, and the seq-cst head load orders
+       after the caller's counter raise, so any narrow acquirer that links
+       a node later must observe the raised counter and retreat. Skipping
+       the pinned walk here keeps wide acquisitions over idle shards at
+       one atomic load per shard. *)
+    true
+  else drain_conflicts_slow t ~reader ~blocking ~deadline_ns r
+
+and drain_conflicts_slow t ~reader ~blocking ~deadline_ns r =
+  let lo = Range.lo r and hi = Range.hi r in
+  let conflicts (c : Node.t) =
+    c.Node.lo < hi && lo < c.Node.hi && not (reader && c.Node.reader)
+  in
+  let wait_marked (c : Node.t) =
+    (* As in [wait_until_marked], minus the node-specific bookkeeping. *)
+    Metrics.overlap_wait t.metrics;
+    if Atomic.get Fault.enabled then Fault.hit fp_overlap_wait;
+    Waitboard.wait_begin t.board ~lo ~hi ~write:(not reader);
+    let b = Backoff.create () in
+    let timed_out = ref false in
+    while (not !timed_out) && not (Atomic.get c.Node.next).Node.marked do
+      if deadline_ns <> max_int && Clock.now_ns () > deadline_ns then
+        timed_out := true
+      else Backoff.once b
+    done;
+    Waitboard.wait_end t.board;
+    not !timed_out
+  in
+  Epoch.pin Node.epoch (fun () ->
+      let rec walk cur =
+        match cur with
+        | None -> true
+        | Some c ->
+          if c.Node.lo >= hi then true (* list sorted by lo: nothing past *)
+          else
+            let cl = Atomic.get c.Node.next in
+            if cl.Node.marked then walk cl.Node.succ
+            else if not (conflicts c) then walk cl.Node.succ
+            else if not blocking then false
+            else if wait_marked c then walk (Atomic.get c.Node.next).Node.succ
+            else false
+      in
+      let rec from_head () =
+        let l = Atomic.get t.head in
+        match l.Node.succ with
+        | None -> true
+        | Some n ->
+          if l.Node.marked then begin
+            (* Fast-path holder: an exclusive single-node claim of the
+               whole list. Its release (or demotion by an inserter)
+               replaces the head link, so wait for the head to change. *)
+            if not (conflicts n) then true
+            else if not blocking then false
+            else begin
+              Metrics.overlap_wait t.metrics;
+              Waitboard.wait_begin t.board ~lo ~hi ~write:(not reader);
+              let b = Backoff.create () in
+              let timed_out = ref false in
+              while (not !timed_out) && Atomic.get t.head == l do
+                if deadline_ns <> max_int && Clock.now_ns () > deadline_ns
+                then timed_out := true
+                else Backoff.once b
+              done;
+              Waitboard.wait_end t.board;
+              if !timed_out then false else from_head ()
+            end
+          end
+          else walk (Some n)
+      in
+      from_head ())
 
 let holders t =
   Epoch.pin Node.epoch (fun () ->

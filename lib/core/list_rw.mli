@@ -75,6 +75,25 @@ val metrics : t -> Metrics.snapshot
 
 val reset_metrics : t -> unit
 
+val sub_acquire : t -> reader:bool -> Range.t -> handle
+(** Lean blocking acquisition for composing frontends (lib/shard): same
+    protocol as {!read_acquire}/{!write_acquire} but skips the
+    Lockstat/History branches — the frontend records both at its own
+    level. *)
+
+val sub_release : t -> handle -> unit
+(** Release counterpart of {!sub_acquire} (skips history recording). *)
+
+val drain_conflicts :
+  t -> reader:bool -> blocking:bool -> deadline_ns:int -> Range.t -> bool
+(** Wait (or, non-blocking, test) until no live node conflicts with [r] in
+    the given mode, {e without} inserting a node. Building block for the
+    sharded frontend's wide path ({!Rlk_shard}): only sound when the
+    caller has first made itself visible to future acquirers of this list
+    (otherwise a later insertion can race past a completed drain). Returns
+    [false] if non-blocking or past [deadline_ns] while a conflicting
+    holder is still live. *)
+
 val holders : t -> (Range.t * [ `Reader | `Writer ]) list
 (** Unmarked list contents in order — tests/diagnostics on a quiesced
     lock. *)

@@ -20,6 +20,10 @@ val create : unit -> t
 
 val acquisition : t -> unit
 val fast_path_hit : t -> unit
+
+(** [acquisition] and [fast_path_hit] in one call (one domain-id lookup) —
+    the pair every fast-path grant records. *)
+val fast_acquisition : t -> unit
 val restart : t -> unit
 val cas_failure : t -> unit
 val overlap_wait : t -> unit

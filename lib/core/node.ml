@@ -4,6 +4,7 @@ type t = {
   mutable reader : bool;
   mutable span : int;
   next : link Atomic.t;
+  mutable self_link : link;
 }
 
 and link = { marked : bool; succ : t option }
@@ -18,7 +19,18 @@ let range_of n = Range.v ~lo:n.lo ~hi:n.hi
 
 let epoch = Rlk_ebr.Epoch.create ()
 
-let fresh () = { lo = 0; hi = 1; reader = false; span = -1; next = Atomic.make nil }
+(* [self_link] caches the one link value the empty-list fast path installs:
+   [{marked = true; succ = Some self}]. It never changes (the range lives in
+   the node's mutable fields, not the link), so building it once per node —
+   instead of once per fast-path acquisition — removes the dominant
+   allocation on the fast path. *)
+let fresh () =
+  let n =
+    { lo = 0; hi = 1; reader = false; span = -1; next = Atomic.make nil;
+      self_link = nil }
+  in
+  n.self_link <- { marked = true; succ = Some n };
+  n
 
 (* The paper uses N = 128; we use a larger pool because on an oversubscribed
    2-CPU host an epoch barrier that observes a descheduled traverser stalls
@@ -32,7 +44,9 @@ let alloc ~reader r =
   n.hi <- Range.hi r;
   n.reader <- reader;
   n.span <- -1;
-  Atomic.set n.next nil;
+  (* Nodes released on the fast path come back with [next] still [nil];
+     checking first trades a fence for a load on that (hot) reuse path. *)
+  if Atomic.get n.next != nil then Atomic.set n.next nil;
   n
 
 let retire n = Rlk_ebr.Pool.retire pool n

@@ -18,6 +18,10 @@ type t = {
       (** open {!History} span carried from acquisition to release; [-1]
           when the hold is not being recorded *)
   next : link Atomic.t;
+  mutable self_link : link;
+      (** cached [{marked = true; succ = Some self}], the value the
+          empty-list fast path CASes into the head — allocated once per
+          node rather than once per acquisition *)
 }
 
 and link = { marked : bool; succ : t option }

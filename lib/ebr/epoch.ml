@@ -50,6 +50,23 @@ let barrier t =
     end
   done
 
+(* Single scan, no waiting: true iff no other domain is inside a
+   traversal right now. A grace period has then trivially elapsed for
+   everything retired before the call. The non-blocking form exists
+   because allocation-side code must never wait on another domain's pin:
+   a pinned domain may itself be waiting for *us* (multi-list
+   acquisitions in lib/shard grant locks in sequence, and a holder mid-
+   sequence can be what a pinned waiter blocks on), so a blocking barrier
+   inside the allocator closes a deadlock cycle. *)
+let try_barrier t =
+  if Atomic.get Fault.enabled then Fault.hit fp_barrier;
+  let self = Domain_id.get () in
+  let clean = ref true in
+  for i = 0 to Array.length t.epochs - 1 do
+    if i <> self && Atomic.get t.epochs.(i) land 1 = 1 then clean := false
+  done;
+  !clean
+
 let pin t f =
   enter t;
   match f () with

@@ -30,5 +30,12 @@ val barrier : t -> unit
     call has since left (or advanced to a new traversal). Must be called
     from *outside* a traversal. *)
 
+val try_barrier : t -> bool
+(** One scan, no waiting: [true] iff no other domain is inside a traversal
+    right now (a grace period has then trivially elapsed). Allocation-side
+    code must use this instead of {!barrier}: a pinned domain may itself be
+    blocked on the caller (multi-list lock acquisition), so waiting for it
+    inside an allocator deadlocks. *)
+
 val pin : t -> (unit -> 'a) -> 'a
 (** [pin t f] runs [f] between {!enter} and {!leave}, exception-safely. *)

@@ -6,15 +6,22 @@ module Fault = Rlk_chaos.Fault
    it as unsound (torture's catch-a-real-bug self test). *)
 let fp_barrier_skip = Fault.point "ebr.barrier.skip"
 
+(* The two pools are array stacks, not lists: push and pop are plain
+   stores, so the steady-state recycle loop (get on every acquisition,
+   retire on every release) allocates nothing at all. Slots at or past the
+   length hold stale references to pooled nodes — never read before being
+   overwritten by a push, and bounded by the fixed capacity. *)
 type 'a local = {
-  mutable active : 'a list;
-  mutable active_len : int;
-  mutable reclaimed : 'a list;
-  mutable reclaimed_len : int;
+  mutable active : 'a array;
+  mutable alen : int;
+  mutable reclaimed : 'a array;
+  mutable rlen : int;
+  me : int; (* caches Domain_id.get: one TLS lookup per get/retire, not two *)
 }
 
 type 'a t = {
   target : int;
+  capacity : int;
   alloc : unit -> 'a;
   ep : Epoch.t;
   key : 'a local Domain.DLS.key;
@@ -33,14 +40,21 @@ type stats = {
 
 let create ?(target = 128) ~alloc ep =
   if target <= 0 then invalid_arg "Pool.create: target must be positive";
+  let capacity = 4 * target in
   let key =
     Domain.DLS.new_key (fun () ->
-        let rec fill n acc = if n = 0 then acc else fill (n - 1) (alloc () :: acc) in
-        { active = fill target []; active_len = target;
-          reclaimed = []; reclaimed_len = 0 })
+        (* Slots [target, capacity) alias slot 0's node until a push
+           overwrites them; pops never reach past the length. *)
+        let active = Array.make capacity (alloc ()) in
+        for i = 1 to target - 1 do
+          active.(i) <- alloc ()
+        done;
+        { active; alen = target;
+          reclaimed = Array.make capacity active.(0); rlen = 0;
+          me = Domain_id.get () })
   in
   let slots = Domain_id.capacity in
-  { target; alloc; ep; key;
+  { target; capacity; alloc; ep; key;
     fresh = Padded_counters.create ~slots;
     recycled = Padded_counters.create ~slots;
     barriers = Padded_counters.create ~slots;
@@ -48,55 +62,62 @@ let create ?(target = 128) ~alloc ep =
 
 let epoch t = t.ep
 
-(* Swap pools after a barrier, then keep the active pool within
-   [target/2, 2*target] as the paper prescribes. *)
+(* Swap pools after a grace period, then top the active pool back up to
+   [target] if it came back nearly empty. The grace-period check is the
+   *non-blocking* {!Epoch.try_barrier}: the allocator must never wait on a
+   pinned domain, because that domain may be blocked on a lock the caller
+   already holds (multi-list acquisition in lib/shard) — waiting here
+   closes a deadlock cycle. When the scan finds an active traversal the
+   swap is simply skipped; the caller falls back to fresh allocation and
+   the retired nodes wait for a later, quieter refill (the fixed capacity
+   bounds the backlog: overflowing retirees are dropped to the GC). *)
 let refill t local =
-  let me = Domain_id.get () in
-  if not (Atomic.get Fault.enabled && Fault.skip fp_barrier_skip) then
-    Epoch.barrier t.ep;
-  Padded_counters.incr t.barriers me;
-  let a, alen = local.reclaimed, local.reclaimed_len in
-  local.reclaimed <- [];
-  local.reclaimed_len <- 0;
-  local.active <- a;
-  local.active_len <- alen;
-  if local.active_len < t.target / 2 then begin
-    let need = t.target - local.active_len in
-    for _ = 1 to need do
-      local.active <- t.alloc () :: local.active
-    done;
-    local.active_len <- t.target;
-    Padded_counters.add t.fresh me need
-  end
-  else if local.active_len > 2 * t.target then begin
-    let excess = local.active_len - t.target in
-    let rec drop n l = if n = 0 then l else match l with
-      | [] -> []
-      | _ :: rest -> drop (n - 1) rest
-    in
-    local.active <- drop excess local.active;
-    local.active_len <- t.target;
-    Padded_counters.add t.trimmed me excess
+  if Atomic.get Fault.enabled && Fault.skip fp_barrier_skip
+     || Epoch.try_barrier t.ep
+  then begin
+    let me = local.me in
+    Padded_counters.incr t.barriers me;
+    let a, alen = local.active, local.alen in
+    local.active <- local.reclaimed;
+    local.alen <- local.rlen;
+    local.reclaimed <- a;
+    local.rlen <- alen;
+    if local.alen < t.target / 2 then begin
+      let need = t.target - local.alen in
+      for i = local.alen to t.target - 1 do
+        local.active.(i) <- t.alloc ()
+      done;
+      local.alen <- t.target;
+      Padded_counters.add t.fresh me need
+    end
   end
 
 let get t =
   let local = Domain.DLS.get t.key in
-  if local.active_len = 0 then refill t local;
-  match local.active with
-  | [] ->
-    (* Reclaimed pool was empty too: allocate fresh. *)
-    Padded_counters.incr t.fresh (Domain_id.get ());
+  if local.alen = 0 then refill t local;
+  if local.alen = 0 then begin
+    (* Reclaimed pool was empty too (or a traversal blocked the swap):
+       allocate fresh. *)
+    Padded_counters.incr t.fresh local.me;
     t.alloc ()
-  | n :: rest ->
-    local.active <- rest;
-    local.active_len <- local.active_len - 1;
-    Padded_counters.incr t.recycled (Domain_id.get ());
-    n
+  end
+  else begin
+    let n = local.alen - 1 in
+    local.alen <- n;
+    Padded_counters.incr t.recycled local.me;
+    local.active.(n)
+  end
 
 let retire t node =
   let local = Domain.DLS.get t.key in
-  local.reclaimed <- node :: local.reclaimed;
-  local.reclaimed_len <- local.reclaimed_len + 1
+  if local.rlen = t.capacity then
+    (* Sustained pinning has blocked refills for a long while: hand the
+       overflow to the GC rather than grow without bound. *)
+    Padded_counters.incr t.trimmed local.me
+  else begin
+    local.reclaimed.(local.rlen) <- node;
+    local.rlen <- local.rlen + 1
+  end
 
 let stats t =
   { fresh_allocations = Padded_counters.sum t.fresh;

@@ -1,11 +1,16 @@
 (** Two-pool thread-local node recycling, Section 4.4.
 
     Every domain keeps an *active* pool of nodes ready for allocation and a
-    *reclaimed* pool of nodes it has unlinked but not yet recycled. When the
-    active pool runs dry the domain runs an epoch {!Epoch.barrier}, swaps
-    the two pools, then replenishes the active pool up to [target] if it
-    holds fewer than [target/2] nodes, or trims it down to [target] if it
-    holds more than [2*target] (trimmed nodes are dropped to the GC).
+    *reclaimed* pool of nodes it has unlinked but not yet recycled, both
+    fixed-capacity array stacks so the steady-state recycle loop allocates
+    nothing. When the active pool runs dry the domain checks for a grace
+    period with the non-blocking {!Epoch.try_barrier}; on success it swaps
+    the two pools and replenishes the active pool up to [target] if it
+    came back nearly empty. If another domain is mid-traversal the swap is
+    skipped and allocation falls back to fresh nodes — the allocator must
+    never wait on a pinned domain, which may itself be blocked on a lock
+    the allocating thread already holds (multi-list acquisition,
+    lib/shard). Retirees past the fixed capacity are dropped to the GC.
 
     With a balanced workload — each thread unlinks about as many nodes as
     it inserts — steady state never touches the system allocator, exactly
@@ -25,9 +30,10 @@ val create : ?target:int -> alloc:(unit -> 'a) -> Epoch.t -> 'a t
     per-domain pools are created lazily, pre-filled with [target] nodes. *)
 
 val get : 'a t -> 'a
-(** Take a node for a new acquisition. Runs the barrier-and-swap protocol
-    when the calling domain's active pool is empty. Must be called from
-    outside an epoch traversal (the barrier requirement). *)
+(** Take a node for a new acquisition. Runs the (non-blocking)
+    barrier-and-swap protocol when the calling domain's active pool is
+    empty; never waits. Must be called from outside an epoch traversal
+    (the barrier requirement). *)
 
 val retire : 'a t -> 'a -> unit
 (** Hand back a node that was unlinked from the shared structure. The node

@@ -1,22 +1,51 @@
 let stride = 8 (* 8 words = 64 bytes *)
 
+(* Slot [i] lives at [(i + 1) * stride]: the leading guard keeps slot 0 off
+   the cache line holding the array header (and whatever the allocator put
+   just before it), and the trailing guard does the same for the last slot. *)
 type t = { cells : int array; slots : int }
 
 let create ~slots =
   if slots <= 0 then invalid_arg "Padded_counters.create";
-  { cells = Array.make (slots * stride) 0; slots }
+  { cells = Array.make ((slots + 2) * stride) 0; slots }
 
-let incr t i = t.cells.(i * stride) <- t.cells.(i * stride) + 1
+let incr t i = t.cells.((i + 1) * stride) <- t.cells.((i + 1) * stride) + 1
 
-let add t i n = t.cells.(i * stride) <- t.cells.(i * stride) + n
+let add t i n = t.cells.((i + 1) * stride) <- t.cells.((i + 1) * stride) + n
 
-let get t i = t.cells.(i * stride)
+let get t i = t.cells.((i + 1) * stride)
 
 let sum t =
   let acc = ref 0 in
-  for i = 0 to t.slots - 1 do
+  for i = 1 to t.slots do
     acc := !acc + t.cells.(i * stride)
   done;
   !acc
 
 let reset t = Array.fill t.cells 0 (Array.length t.cells) 0
+
+(* ---- cache-line isolation for arbitrary heap blocks ---- *)
+
+(* Words of padding appended by [isolate]: one cache line of slack plus the
+   seven words needed so that any two isolated blocks keep their first
+   fields at least 64 bytes apart even when the allocator packs them
+   back-to-back. OCaml (before 5.2's [Atomic.make_contended]) offers no
+   aligned allocation, so single-sided padding is the established idiom
+   (cf. multicore-magic's [copy_as_padded], used by Saturn). *)
+let pad_words = 15
+
+let isolate (v : 'a) : 'a =
+  let r = Obj.repr v in
+  if Obj.is_int r || Obj.tag r >= Obj.no_scan_tag then v
+  else begin
+    let n = Obj.size r in
+    let b = Obj.new_block (Obj.tag r) (n + pad_words) in
+    for i = 0 to n - 1 do
+      Obj.set_field b i (Obj.field r i)
+    done;
+    (* The padding words keep the Val_unit that [Obj.new_block] wrote:
+       immediates, so the GC skips them. *)
+    Obj.magic b
+  end
+
+let atomic (v : 'a) : 'a Atomic.t = isolate (Atomic.make v)

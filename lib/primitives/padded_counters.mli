@@ -2,7 +2,11 @@
 
     Each slot is owned by one domain (writes are plain stores); only
     cross-slot reads ([sum]) race, and they are used for end-of-run
-    aggregation where approximate in-flight values are acceptable. *)
+    aggregation where approximate in-flight values are acceptable.
+
+    Slots are separated by a full cache line {e and} guarded on both ends,
+    so slot 0 never shares a line with the array header and the last slot
+    never shares one with the next heap block. *)
 
 type t
 
@@ -13,3 +17,15 @@ val add : t -> int -> int -> unit
 val get : t -> int -> int
 val sum : t -> int
 val reset : t -> unit
+
+val isolate : 'a -> 'a
+(** [isolate v] reallocates the heap block of [v] with a cache line of
+    trailing padding, so frequently mutated blocks (lock heads, shard
+    state) stop false-sharing with their heap neighbours. Returns [v]
+    unchanged for immediates and no-scan blocks. The copy is shallow and
+    must be taken before the block is shared — callers isolate at
+    construction time. *)
+
+val atomic : 'a -> 'a Atomic.t
+(** [atomic v] is [Atomic.make v] on its own cache line — the pre-5.2
+    spelling of [Atomic.make_contended]. *)

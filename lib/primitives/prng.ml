@@ -1,15 +1,21 @@
-type t = { mutable state : int64 }
+type t = { mutable state : int }
 
-let create ~seed = { state = Int64.of_int (seed lxor 0x9e3779b9) }
+let create ~seed = { state = seed lxor 0x9e3779b9 }
 
-(* splitmix64: passes statistical tests, one 64-bit multiply-xor chain. *)
+(* splitmix64's multiply-xor chain truncated to OCaml's native 63-bit int.
+   Every operation is untagged integer arithmetic: the generator allocates
+   nothing, which matters because it runs inside benchmark hot loops —
+   boxed [Int64] arithmetic (the previous implementation) costs a handful
+   of minor-heap blocks per draw and was a measurable common-mode term in
+   every throughput cell. Statistical quality is ample for workload
+   generation. *)
 let next t =
-  let z = Int64.add t.state 0x9E3779B97F4A7C15L in
+  let z = t.state + 0x1E3779B97F4A7C15 in
   t.state <- z;
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
-  Int64.to_int (Int64.shift_right_logical z 2)
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  let z = z lxor (z lsr 31) in
+  z land (1 lsl 62 - 1)
 
 let below t n =
   if n <= 0 then invalid_arg "Prng.below: n must be positive";

@@ -1,0 +1,55 @@
+module Range = Rlk.Range
+
+type t = { shards : int; width : int; space : int; shift : int }
+
+let create ~shards ~space =
+  if shards <= 0 then invalid_arg "Router.create: shards must be positive";
+  if space < shards || space mod shards <> 0 then
+    invalid_arg "Router.create: space must be a positive multiple of shards";
+  let width = space / shards in
+  (* Power-of-two widths route with a shift instead of a division — the
+     router sits on every acquisition's critical path. *)
+  let shift = if width land (width - 1) = 0 then
+      let rec log2 acc w = if w <= 1 then acc else log2 (acc + 1) (w lsr 1) in
+      log2 0 width
+    else -1
+  in
+  { shards; width; space; shift }
+
+let shards t = t.shards
+
+let space t = t.space
+
+let width t = t.width
+
+(* Shard spans partition [0, max_int): the last shard absorbs everything at
+   or past [space], so ranges over a larger universe (Range.full, VM
+   addresses beyond the tuned space) still route without special cases. *)
+let span t i =
+  if i < 0 || i >= t.shards then invalid_arg "Router.span";
+  let lo = i * t.width in
+  let hi = if i = t.shards - 1 then max_int else lo + t.width in
+  Range.v ~lo ~hi
+
+let shard_of_point t x =
+  if x < 0 then invalid_arg "Router.shard_of_point";
+  if t.shift >= 0 then min (x lsr t.shift) (t.shards - 1)
+  else min (x / t.width) (t.shards - 1)
+
+let first_last t r =
+  (shard_of_point t (Range.lo r), shard_of_point t (Range.hi r - 1))
+
+let clamp t i r =
+  match Range.intersect r (span t i) with
+  | Some sub -> sub
+  | None -> invalid_arg "Router.clamp: shard does not intersect the range"
+
+let cover t r =
+  let first, last = first_last t r in
+  List.init (last - first + 1) (fun k ->
+      let i = first + k in
+      (i, clamp t i r))
+
+let pp ppf t =
+  Format.fprintf ppf "router(shards=%d, width=%d, space=%d)" t.shards t.width
+    t.space

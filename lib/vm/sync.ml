@@ -10,6 +10,7 @@ type variant =
   | List_pf
   | List_mprotect
   | List_refined_maps
+  | Shard_refined
 
 let variant_name = function
   | Stock -> "stock"
@@ -20,10 +21,11 @@ let variant_name = function
   | List_pf -> "list-pf"
   | List_mprotect -> "list-mprotect"
   | List_refined_maps -> "list-refined+maps"
+  | Shard_refined -> "shard-refined"
 
 let all_variants =
   [ Stock; Tree_full; List_full; Tree_refined; List_refined; List_pf;
-    List_mprotect; List_refined_maps ]
+    List_mprotect; List_refined_maps; Shard_refined ]
 
 let variant_of_name s =
   List.find_opt (fun v -> variant_name v = s) all_variants
@@ -36,6 +38,7 @@ type backend =
   | Sem of Rwsem.t
   | Tree of Rlk_baselines.Tree_rw.t
   | Lst of Rlk.List_rw.t
+  | Shd of Rlk_shard.Shard_rw.t
 
 type t = {
   variant : variant;
@@ -77,20 +80,29 @@ let create ?stats ?spin_stats variant =
       Tree (Rlk_baselines.Tree_rw.create ?stats ?spin_stats ())
     | List_full | List_refined | List_pf | List_mprotect | List_refined_maps ->
       Lst (Rlk.List_rw.create ?stats ())
+    | Shard_refined ->
+      (* 16 shards over the first 8 GiB of address space: the brk heap
+         (1 GiB), the first-fit mmap area (64 KiB up) and the 64 MiB
+         arenas (4 GiB up) land on distinct shards; refined page faults
+         and mprotects are single-shard, full-range structural writes go
+         wide. *)
+      Shd (Rlk_shard.Shard_rw.create ?stats ~shards:16 ~space:(1 lsl 33) ())
   in
   let refine_pf =
     match variant with
-    | Tree_refined | List_refined | List_pf | List_refined_maps -> true
+    | Tree_refined | List_refined | List_pf | List_refined_maps
+    | Shard_refined -> true
     | Stock | Tree_full | List_full | List_mprotect -> false
   and speculate =
     match variant with
-    | Tree_refined | List_refined | List_mprotect | List_refined_maps -> true
+    | Tree_refined | List_refined | List_mprotect | List_refined_maps
+    | Shard_refined -> true
     | Stock | Tree_full | List_full | List_pf -> false
   and speculate_maps =
     match variant with
     | List_refined_maps -> true
     | Stock | Tree_full | List_full | Tree_refined | List_refined | List_pf
-    | List_mprotect -> false
+    | List_mprotect | Shard_refined -> false
   in
   let c () = Padded_counters.create ~slots:Domain_id.capacity in
   { variant; mm = Mm.create (); backend; refine_pf; speculate; speculate_maps;
@@ -111,18 +123,21 @@ type lhandle =
   | Hsem_w
   | Htree of Rlk_baselines.Tree_rw.handle
   | Hlst of Rlk.List_rw.handle
+  | Hshd of Rlk_shard.Shard_rw.handle
 
 let read_lock t r =
   match t.backend with
   | Sem s -> Rwsem.down_read s; Hsem_r
   | Tree l -> Htree (Rlk_baselines.Tree_rw.read_acquire l r)
   | Lst l -> Hlst (Rlk.List_rw.read_acquire l r)
+  | Shd l -> Hshd (Rlk_shard.Shard_rw.read_acquire l r)
 
 let write_lock t r =
   match t.backend with
   | Sem s -> Rwsem.down_write s; Hsem_w
   | Tree l -> Htree (Rlk_baselines.Tree_rw.write_acquire l r)
   | Lst l -> Hlst (Rlk.List_rw.write_acquire l r)
+  | Shd l -> Hshd (Rlk_shard.Shard_rw.write_acquire l r)
 
 let unlock t h =
   match t.backend, h with
@@ -130,6 +145,7 @@ let unlock t h =
   | Sem s, Hsem_w -> Rwsem.up_write s
   | Tree l, Htree h -> Rlk_baselines.Tree_rw.release l h
   | Lst l, Hlst h -> Rlk.List_rw.release l h
+  | Shd l, Hshd h -> Rlk_shard.Shard_rw.release l h
   | _ -> invalid_arg "Sync.unlock: handle from a different backend"
 
 (* Full-range write sections publish structural changes: bump the sequence

@@ -29,6 +29,10 @@ type variant =
       (** [list-refined] plus the Section 5.2 future-work speculations:
           [mmap]'s free-region scan runs under a read acquisition, and
           {!brk} uses the same speculative protocol as mprotect. *)
+  | Shard_refined
+      (** [list-refined] over the sharded frontend ({!Rlk_shard.Shard_rw}):
+          refined page faults and mprotects hit a single shard; full-range
+          structural operations go through its wide path. *)
 
 val variant_name : variant -> string
 

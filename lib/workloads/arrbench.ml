@@ -73,18 +73,25 @@ let run_with (module L : Rlk.Intf.RW) ~variant ~threads ~read_pct ~duration_s
     let rng = Prng.create ~seed:(id * 9176 + 3) in
     let slice = max 1 (slots / threads) in
     let my_lo = min (id * slice) (slots - slice) in
+    (* The Full and Disjoint ranges are loop invariants; building them
+       (and the bounds tuple) per iteration put harness allocations on
+       the measured path, diluting the difference between the locks the
+       cell exists to compare. Only Random pays a per-op [Range.v]. *)
+    let full_r = Rlk.Range.v ~lo:0 ~hi:slots in
+    let my_r = Rlk.Range.v ~lo:my_lo ~hi:(my_lo + slice) in
     let ops = ref 0 in
     while not (stop ()) do
-      let write = Prng.below rng 100 >= read_pct in
-      let lo, hi, passes =
+      let write = read_pct < 100 && Prng.below rng 100 >= read_pct in
+      let r =
         match variant with
-        | Full -> (0, slots, 1)
-        | Disjoint -> (my_lo, my_lo + slice, threads)
+        | Full -> full_r
+        | Disjoint -> my_r
         | Random ->
           let a = Prng.below rng slots and b = Prng.below rng slots in
-          (min a b, max a b + 1, 1)
+          Rlk.Range.v ~lo:(min a b) ~hi:(max a b + 1)
       in
-      let r = Rlk.Range.v ~lo ~hi in
+      let lo = Rlk.Range.lo r and hi = Rlk.Range.hi r in
+      let passes = match variant with Disjoint -> threads | _ -> 1 in
       let h = if write then L.write_acquire lock r else L.read_acquire lock r in
       (match checker with
        | Some c -> checker_enter c ~lo ~hi ~write

@@ -42,14 +42,48 @@ let arrbench_locks : (string * Rlk.Intf.rw_impl) list =
     ("list-rw", (module Rlk.Intf.List_rw_impl));
     ("lustre-ex", (module Lustre_rw));
     ("kernel-rw", (module Kernel_rw));
-    ("pnova-rw", Rlk_baselines.Segment_rw.impl ~segments:256 ~segment_size:1) ]
+    ("pnova-rw", Rlk_baselines.Segment_rw.impl ~segments:256 ~segment_size:1);
+    (* Geometry matches ArrBench: 256 slots, one shard per 32 slots, so a
+       disjoint per-thread slice at 8 threads maps 1:1 onto a shard. *)
+    ("shard-rw", Rlk_shard.Shard_rw.impl ~shards:8 ~space:256 ()) ]
 
 let find_arrbench_lock name = List.assoc_opt name arrbench_locks
+
+(* Exclusive (write-mode) view of the sharded lock, for the skip list:
+   update ranges are short (a few keys), so nearly every acquisition is
+   single-shard. *)
+module Shard_as_mutex : Rlk.Intf.MUTEX = struct
+  module S = Rlk_shard.Shard_rw
+
+  type t = S.t
+
+  type handle = S.handle
+
+  let name = "shard-ex"
+
+  let create ?stats () =
+    S.create ?stats ~shards:16 ~space:(1 lsl 18) ()
+
+  let acquire = S.write_acquire
+
+  let try_acquire = S.try_write_acquire
+
+  let acquire_opt = S.write_acquire_opt
+
+  let release = S.release
+end
+
+module Skiplist_over_shard = struct
+  include Rlk_skiplist.Range_skiplist.Make (Shard_as_mutex)
+
+  let name = "range-shard"
+end
 
 let skiplist_sets : (string * Rlk_skiplist.Skiplist_intf.set_impl) list =
   [ ("orig", (module Rlk_skiplist.Optimistic));
     ("range-list", (module Rlk_skiplist.Range_skiplist.Over_list));
-    ("range-lustre", (module Rlk_skiplist.Range_skiplist.Over_lustre)) ]
+    ("range-lustre", (module Rlk_skiplist.Range_skiplist.Over_lustre));
+    ("range-shard", (module Skiplist_over_shard)) ]
 
 let find_skiplist_set name = List.assoc_opt name skiplist_sets
 

@@ -299,6 +299,7 @@ let conformance_impls : (string * Intf.rw_impl * bool * bool * bool) list =
     ("lustre-ex", arr "lustre-ex", true, false, true);
     ("kernel-rw", arr "kernel-rw", true, true, true);
     ("pnova-rw", arr "pnova-rw", true, true, true);
+    ("shard-rw", arr "shard-rw", true, true, true);
     ("vee-rw", Rlk_workloads.Locks.vee_rw_impl, true, true, true);
     ( "list-rw+wpref",
       Rlk_workloads.Locks.list_rw_writer_pref_impl,

@@ -195,7 +195,15 @@ let recycle_race ~seed ~iters =
              dwell rng;
              if n.gen <> g0 then Atomic.incr violations
            | None -> ());
-          Epoch.leave e
+          Epoch.leave e;
+          (* Unpinned breather: the pool's refill is the non-blocking
+             {!Epoch.try_barrier}, which only succeeds while no reader is
+             pinned. Without windows where this domain is visibly outside
+             a traversal (on one core the scheduler mostly runs the writer
+             during the *pinned* sleep above), the pool would never swap
+             and the test would exercise nothing. *)
+          if Rlk_primitives.Prng.bool rng ~p:0.3 then
+            try Unix.sleepf 30e-6 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
         done)
   in
   let writer =

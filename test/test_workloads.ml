@@ -71,10 +71,14 @@ let test_series_validates () =
 (* ---------------- Locks registry ---------------- *)
 
 let test_lock_registry () =
-  Alcotest.(check int) "five arrbench locks" 5 (List.length Locks.arrbench_locks);
+  Alcotest.(check int) "six arrbench locks" 6 (List.length Locks.arrbench_locks);
+  Alcotest.(check bool) "shard lookup hit" true
+    (Locks.find_arrbench_lock "shard-rw" <> None);
   Alcotest.(check bool) "lookup hit" true (Locks.find_arrbench_lock "list-rw" <> None);
   Alcotest.(check bool) "lookup miss" true (Locks.find_arrbench_lock "nope" = None);
-  Alcotest.(check int) "three sets" 3 (List.length Locks.skiplist_sets);
+  Alcotest.(check int) "four sets" 4 (List.length Locks.skiplist_sets);
+  Alcotest.(check bool) "shard set lookup" true
+    (Locks.find_skiplist_set "range-shard" <> None);
   Alcotest.(check bool) "set lookup" true (Locks.find_skiplist_set "orig" <> None);
   (* Names exposed through the modules match the registry labels. *)
   List.iter
