@@ -1,57 +1,4 @@
-open Rlk_primitives
-module Fault = Rlk_chaos.Fault
-
-let fp_escalate = Fault.point "fairgate.escalate"
-
-type t = {
-  impatient : int Atomic.t;
-  aux : Rwlock.t;
-  patience : int;
-}
-
-type mode = Disabled | Polite | Polite_locked | Impatient
-
-type session = { gate : t option; mutable mode : mode }
-
-let create ?(patience = 64) () =
-  if patience <= 0 then invalid_arg "Fairgate.create: patience must be positive";
-  { impatient = Atomic.make 0; aux = Rwlock.create (); patience }
-
-let start = function
-  | None -> { gate = None; mode = Disabled }
-  | Some g ->
-    if Atomic.get g.impatient = 0 then { gate = Some g; mode = Polite }
-    else begin
-      Rwlock.read_acquire g.aux;
-      { gate = Some g; mode = Polite_locked }
-    end
-
-let failures_exceeded s ~failures =
-  match s.gate, s.mode with
-  | Some g, (Polite | Polite_locked) -> failures >= g.patience
-  | _ -> false
-
-let escalate s =
-  match s.gate with
-  | None -> ()
-  | Some g ->
-    if Atomic.get Fault.enabled then Fault.hit fp_escalate;
-    (match s.mode with
-     | Polite_locked -> Rwlock.read_release g.aux
-     | Polite -> ()
-     | Disabled | Impatient -> invalid_arg "Fairgate.escalate: bad mode");
-    ignore (Atomic.fetch_and_add g.impatient 1);
-    Rwlock.write_acquire g.aux;
-    s.mode <- Impatient
-
-let finish s =
-  match s.gate with
-  | None -> ()
-  | Some g ->
-    (match s.mode with
-     | Disabled | Polite -> ()
-     | Polite_locked -> Rwlock.read_release g.aux
-     | Impatient ->
-       Rwlock.write_release g.aux;
-       ignore (Atomic.fetch_and_add g.impatient (-1)));
-    s.mode <- Disabled
+(* The production instance: Fairgate_core applied to the pass-through
+   runtime and the production Rwlock (see fairgate_core.ml for the body). *)
+include
+  Fairgate_core.Make (Rlk_primitives.Traced_atomic.Real) (Rlk_primitives.Rwlock)

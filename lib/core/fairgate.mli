@@ -19,8 +19,9 @@ type session
 
 val create : ?patience:int -> unit -> t
 (** [patience] is the number of acquisition failures (traversal restarts,
-    failed CASes, validation restarts) tolerated before escalating
-    (default 64). *)
+    failed CASes, validation restarts, pre-link conflict waits — each a
+    window for later arrivals to bypass the acquirer) tolerated before
+    escalating (default 64). *)
 
 val start : t option -> session
 (** Begin an acquisition. [None] yields a no-op session (fairness off). *)

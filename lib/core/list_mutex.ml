@@ -1,280 +1,4 @@
-open Rlk_primitives
-module Epoch = Rlk_ebr.Epoch
-module Fault = Rlk_chaos.Fault
-module Waitboard = Rlk_chaos.Waitboard
-
-(* Chaos injection points (see doc/robustness.md for the naming scheme). *)
-let fp_insert_cas = Fault.point "list_mutex.insert_cas"
-let fp_overlap_wait = Fault.point "list_mutex.overlap_wait"
-let fp_release = Fault.point "list_mutex.release"
-
-type t = {
-  head : Node.link Atomic.t;
-  fast_path : bool;
-  gate : Fairgate.t option;
-  stats : Lockstat.t option;
-  metrics : Metrics.t;
-  board : Waitboard.t;
-}
-
-type handle = Node.t
-
-let name = "list-ex"
-
-let create ?stats ?(fast_path = false) ?fairness () =
-  let board = Waitboard.create ~name in
-  if Rlk_chaos.Watchdog.auto_watch () then Rlk_chaos.Watchdog.watch board;
-  { head = Padded_counters.atomic Node.nil;
-    fast_path;
-    gate = Option.map (fun patience -> Fairgate.create ~patience ()) fairness;
-    stats;
-    metrics = Metrics.create ();
-    board }
-
-exception Out_of_budget
-exception Would_block
-exception Timed_out
-
-(* History hooks for the verification oracle (lib/check): live only when
-   the lock carries the [?stats] observability hook AND recording is
-   armed; see the twin comment in list_rw.ml. The exclusive lock always
-   records Write mode. *)
-let hist_acquired t (node : Node.t) =
-  if Atomic.get History.enabled && Option.is_some t.stats then
-    node.Node.span <-
-      History.acquired ~lock:name ~mode:Lockstat.Write ~lo:node.Node.lo
-        ~hi:node.Node.hi
-
-let hist_failed t r =
-  if Atomic.get History.enabled && Option.is_some t.stats then
-    History.failed ~lock:name ~mode:Lockstat.Write ~lo:(Range.lo r)
-      ~hi:(Range.hi r)
-
-let hist_released (node : Node.t) =
-  if node.Node.span >= 0 then begin
-    if Atomic.get History.enabled then
-      History.released ~lock:name ~span:node.Node.span ~mode:Lockstat.Write
-        ~lo:node.Node.lo ~hi:node.Node.hi;
-    node.Node.span <- -1
-  end
-
-(* Wait (publishing on the waitboard) until [c] is marked deleted; raises
-   [Timed_out] past an absolute deadline ([max_int] = wait forever). *)
-let wait_marked t (node : Node.t) (c : Node.t) ~deadline_ns =
-  Waitboard.wait_begin t.board ~lo:node.Node.lo ~hi:node.Node.hi ~write:true;
-  let b = Backoff.create () in
-  let timed_out = ref false in
-  while (not !timed_out) && not (Atomic.get c.Node.next).Node.marked do
-    if deadline_ns <> max_int && Clock.now_ns () > deadline_ns then
-      timed_out := true
-    else Backoff.once b
-  done;
-  Waitboard.wait_end t.board;
-  if !timed_out then raise Timed_out
-
-(* One insertion attempt (the paper's InsertNode). Runs inside the epoch.
-   Raises [Out_of_budget] when the fairness budget is exhausted (the node is
-   guaranteed not to be linked at that point) and [Would_block] in
-   non-blocking mode instead of waiting on an overlapping holder. *)
-let try_insert t session node failures ~blocking ~deadline_ns =
-  let fail_event () =
-    incr failures;
-    if Fairgate.failures_exceeded session ~failures:!failures then
-      raise Out_of_budget;
-    if not blocking then raise Would_block
-  in
-  let rec from_head () = traverse t.head
-  and traverse prev =
-    let l = Atomic.get prev in
-    if l.Node.marked then
-      if prev == t.head then begin
-        (* The mark on the head means a fast-path acquisition: strip it and
-           treat the node as a regular list head (Section 4.5). *)
-        ignore
-          (Atomic.compare_and_set t.head l (Node.link ~marked:false l.Node.succ));
-        traverse prev
-      end
-      else begin
-        (* The node owning [prev] was deleted: the pointer into the list is
-           lost, restart from the head. *)
-        Metrics.restart t.metrics;
-        fail_event ();
-        from_head ()
-      end
-    else
-      match l.Node.succ with
-      | None -> insert_here prev l None
-      | Some cur ->
-        let curl = Atomic.get cur.Node.next in
-        if curl.Node.marked then begin
-          (* cur is logically deleted: unlink it (and recycle on success),
-             then keep traversing from the same spot. *)
-          if Atomic.compare_and_set prev l (Node.link ~marked:false curl.Node.succ)
-          then Node.retire cur;
-          traverse prev
-        end
-        else if cur.Node.lo >= node.Node.hi then insert_here prev l (Some cur)
-        else if node.Node.lo >= cur.Node.hi then traverse cur.Node.next
-        else begin
-          (* Overlap: wait until cur's owner marks it deleted. *)
-          Metrics.overlap_wait t.metrics;
-          if not blocking then raise Would_block;
-          if Atomic.get Fault.enabled then Fault.hit fp_overlap_wait;
-          wait_marked t node cur ~deadline_ns;
-          traverse prev
-        end
-  and insert_here prev expected succ =
-    if Atomic.get Fault.enabled then Fault.hit fp_insert_cas;
-    Atomic.set node.Node.next (Node.link ~marked:false succ);
-    if (not (Atomic.get Fault.enabled && Fault.cas_fails fp_insert_cas))
-       && Atomic.compare_and_set prev expected
-            (Node.link ~marked:false (Some node))
-    then ()
-    else begin
-      Metrics.cas_failure t.metrics;
-      fail_event ();
-      traverse prev
-    end
-  in
-  from_head ()
-
-let insert t session node ~blocking ~deadline_ns =
-  let failures = ref 0 in
-  let rec attempt () =
-    Epoch.enter Node.epoch;
-    match try_insert t session node failures ~blocking ~deadline_ns with
-    | () -> Epoch.leave Node.epoch; true
-    | exception Out_of_budget ->
-      Epoch.leave Node.epoch;
-      Metrics.escalation t.metrics;
-      Fairgate.escalate session;
-      attempt ()
-    | exception Would_block -> Epoch.leave Node.epoch; false
-    | exception e -> Epoch.leave Node.epoch; raise e
-  in
-  attempt ()
-
-let fast_path_acquire t node =
-  t.fast_path
-  &&
-  let l = Atomic.get t.head in
-  (not l.Node.marked)
-  && l.Node.succ = None
-  && Atomic.compare_and_set t.head l node.Node.self_link
-
-let acquire t r =
-  let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in
-  let session = Fairgate.start t.gate in
-  let node = Node.alloc ~reader:false r in
-  if fast_path_acquire t node then Metrics.fast_path_hit t.metrics
-  else ignore (insert t session node ~blocking:true ~deadline_ns:max_int);
-  Fairgate.finish session;
-  Metrics.acquisition t.metrics;
-  hist_acquired t node;
-  (match t.stats with
-   | None -> ()
-   | Some s -> Lockstat.add s Lockstat.Write (Clock.now_ns () - t0));
-  node
-
-let try_acquire t r =
-  let session = Fairgate.start None in
-  let node = Node.alloc ~reader:false r in
-  if fast_path_acquire t node then begin
-    Metrics.fast_path_hit t.metrics;
-    Metrics.acquisition t.metrics;
-    hist_acquired t node;
-    Some node
-  end
-  else if insert t session node ~blocking:false ~deadline_ns:max_int then begin
-    Metrics.acquisition t.metrics;
-    hist_acquired t node;
-    Some node
-  end
-  else begin
-    (* The node never made it into the list; recycle it directly. *)
-    Node.retire node;
-    hist_failed t r;
-    None
-  end
-
-let acquire_opt t ~deadline_ns r =
-  let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in
-  (* No fairness escalation: the impatient path takes the aux lock for an
-     unbounded time, which a deadline cannot honour. *)
-  let session = Fairgate.start None in
-  let node = Node.alloc ~reader:false r in
-  let acquired =
-    if fast_path_acquire t node then begin
-      Metrics.fast_path_hit t.metrics;
-      true
-    end
-    else
-      match insert t session node ~blocking:true ~deadline_ns with
-      | ok -> ok
-      | exception Timed_out ->
-        (* [Timed_out] is only raised while waiting on an overlapping
-           holder, before our node is linked: recycle it directly. *)
-        Node.retire node;
-        false
-  in
-  Fairgate.finish session;
-  if acquired then begin
-    Metrics.acquisition t.metrics;
-    hist_acquired t node;
-    (match t.stats with
-     | None -> ()
-     | Some s -> Lockstat.add s Lockstat.Write (Clock.now_ns () - t0));
-    Some node
-  end
-  else begin
-    Metrics.timeout t.metrics;
-    hist_failed t r;
-    None
-  end
-
-let mark_deleted node =
-  let rec go () =
-    let l = Atomic.get node.Node.next in
-    assert (not l.Node.marked);
-    if not (Atomic.compare_and_set node.Node.next l (Node.link ~marked:true l.Node.succ))
-    then go ()
-  in
-  go ()
-
-let release t node =
-  hist_released node;
-  if Atomic.get Fault.enabled then Fault.delay fp_release;
-  if t.fast_path then begin
-    let l = Atomic.get t.head in
-    if l.Node.marked && Node.succ_is l node
-       && Atomic.compare_and_set t.head l Node.nil
-    then
-      (* Eager removal: the node is already unlinked. *)
-      Node.retire node
-    else mark_deleted node
-  end
-  else mark_deleted node
-
-let with_range t r f =
-  let h = acquire t r in
-  match f () with
-  | v -> release t h; v
-  | exception e -> release t h; raise e
-
-let range_of_handle = Node.range_of
-
-let metrics t = Metrics.snapshot t.metrics
-
-let reset_metrics t = Metrics.reset t.metrics
-
-let holders t =
-  Epoch.pin Node.epoch (fun () ->
-      let rec walk l acc =
-        match l.Node.succ with
-        | None -> List.rev acc
-        | Some n ->
-          let nl = Atomic.get n.Node.next in
-          let acc = if nl.Node.marked then acc else Node.range_of n :: acc in
-          walk nl acc
-      in
-      walk (Atomic.get t.head) [])
+(* The production instance: List_mutex_core applied to the pass-through
+   runtime, the global Node pool, and the production Fairgate (see
+   list_mutex_core.ml for the body, list_mutex.mli for semantics). *)
+include List_mutex_core.Make (Rlk_primitives.Traced_atomic.Real) (Node) (Fairgate)

@@ -1,597 +1,4 @@
-open Rlk_primitives
-module Epoch = Rlk_ebr.Epoch
-module Fault = Rlk_chaos.Fault
-module Waitboard = Rlk_chaos.Waitboard
-
-(* Chaos injection points (see doc/robustness.md). The [.skip] points are
-   deliberately unsound — they disable a validation scan, breaking
-   reader/writer exclusion detectably — and fire only when a chaos plan
-   lists them as unsound (the torture harness's catch-a-real-bug test). *)
-let fp_insert_cas = Fault.point "list_rw.insert_cas"
-let fp_overlap_wait = Fault.point "list_rw.overlap_wait"
-let fp_release = Fault.point "list_rw.release"
-let fp_r_validate_skip = Fault.point "list_rw.r_validate.skip"
-let fp_w_validate_skip = Fault.point "list_rw.w_validate.skip"
-let fp_conflict_wait_skip = Fault.point "list_rw.conflict_wait.skip"
-
-type preference = Prefer_readers | Prefer_writers
-
-type t = {
-  head : Node.link Atomic.t;
-  fast_path : bool;
-  prefer : preference;
-  gate : Fairgate.t option;
-  stats : Lockstat.t option;
-  metrics : Metrics.t;
-  board : Waitboard.t;
-}
-
-type handle = Node.t
-
-let name = "list-rw"
-
-let create ?stats ?(fast_path = false) ?fairness ?(prefer = Prefer_readers) () =
-  let board = Waitboard.create ~name in
-  if Rlk_chaos.Watchdog.auto_watch () then Rlk_chaos.Watchdog.watch board;
-  (* The head is the hottest word of the lock: isolate it so concurrent
-     acquisitions on *other* locks (e.g. neighbouring shards of
-     Rlk_shard) never invalidate its cache line. *)
-  { head = Padded_counters.atomic Node.nil;
-    fast_path;
-    prefer;
-    gate = Option.map (fun patience -> Fairgate.create ~patience ()) fairness;
-    stats;
-    metrics = Metrics.create ();
-    board }
-
-exception Out_of_budget
-exception Would_block
-exception Validation_failed
-exception Timed_out
-
-(* History hooks for the verification oracle (lib/check): live only when
-   the lock carries the [?stats] observability hook AND recording is
-   armed, so the default configuration pays one load-and-branch. Acquired
-   is recorded strictly after the grant and Released strictly before the
-   node is marked, keeping every recorded span inside the real hold. *)
-let hist_acquired t (node : Node.t) =
-  if Atomic.get History.enabled && Option.is_some t.stats then
-    node.Node.span <-
-      History.acquired ~lock:name
-        ~mode:(if node.Node.reader then Lockstat.Read else Lockstat.Write)
-        ~lo:node.Node.lo ~hi:node.Node.hi
-
-let hist_failed t ~mode r =
-  if Atomic.get History.enabled && Option.is_some t.stats then
-    History.failed ~lock:name ~mode ~lo:(Range.lo r) ~hi:(Range.hi r)
-
-let hist_released (node : Node.t) =
-  if node.Node.span >= 0 then begin
-    if Atomic.get History.enabled then
-      History.released ~lock:name ~span:node.Node.span
-        ~mode:(if node.Node.reader then Lockstat.Read else Lockstat.Write)
-        ~lo:node.Node.lo ~hi:node.Node.hi;
-    node.Node.span <- -1
-  end
-
-(* The paper's reader-writer [compare] (Listing 2): position of [node]
-   relative to [cur]. Overlapping readers order by start. *)
-type position = Cur_precedes | Node_precedes | Conflict
-
-let compare_nodes ~cur ~node =
-  let both_readers = cur.Node.reader && node.Node.reader in
-  if node.Node.lo >= cur.Node.hi then Cur_precedes
-  else if both_readers && node.Node.lo >= cur.Node.lo then Cur_precedes
-  else if cur.Node.lo >= node.Node.hi then Node_precedes
-  else if both_readers && cur.Node.lo >= node.Node.lo then Node_precedes
-  else Conflict
-
-let mark_deleted node =
-  let rec go () =
-    let l = Atomic.get node.Node.next in
-    assert (not l.Node.marked);
-    if not (Atomic.compare_and_set node.Node.next l (Node.link ~marked:true l.Node.succ))
-    then go ()
-  in
-  go ()
-
-(* Unlink the marked node [c], reachable through the cell [prev], mimicking
-   the raw-pointer CAS of the paper: the attempt silently fails when [prev]
-   no longer holds an unmarked pointer to [c]. *)
-let try_unlink prev c next_succ =
-  let expected = Atomic.get prev in
-  if (not expected.Node.marked) && Node.succ_is expected c
-     && Atomic.compare_and_set prev expected (Node.link ~marked:false next_succ)
-  then Node.retire c
-
-let wait_until_marked t ~(node : Node.t) c ~blocking ~deadline_ns =
-  Metrics.overlap_wait t.metrics;
-  if not blocking then raise Would_block;
-  if Atomic.get Fault.enabled then Fault.hit fp_overlap_wait;
-  Waitboard.wait_begin t.board ~lo:node.Node.lo ~hi:node.Node.hi
-    ~write:(not node.Node.reader);
-  let b = Backoff.create () in
-  let timed_out = ref false in
-  while (not !timed_out) && not (Atomic.get c.Node.next).Node.marked do
-    if deadline_ns <> max_int && Clock.now_ns () > deadline_ns then
-      timed_out := true
-    else Backoff.once b
-  done;
-  Waitboard.wait_end t.board;
-  if !timed_out then raise Timed_out
-
-(* Reader validation (Listing 3, [r_validate]): scan forward from our node
-   until ranges start at or past our end. With the paper's default reader
-   preference we wait out overlapping writers; with the reversed scheme
-   (Section 4.2's last remark) the reader defers — it deletes itself and
-   fails validation, and the writer waits instead. *)
-let r_validate t node ~blocking ~deadline_ns =
-  if Atomic.get Fault.enabled && Fault.skip fp_r_validate_skip then ()
-  else
-  let rec go prev cur =
-    match cur with
-    | None -> ()
-    | Some c ->
-      if c.Node.lo >= node.Node.hi then ()
-      else
-        let cl = Atomic.get c.Node.next in
-        if cl.Node.marked then begin
-          try_unlink prev c cl.Node.succ;
-          go prev cl.Node.succ
-        end
-        else if c.Node.reader then go c.Node.next cl.Node.succ
-        else if blocking && t.prefer = Prefer_readers then begin
-          (* Overlapping writer: it entered before us, defer to it. *)
-          wait_until_marked t ~node c ~blocking ~deadline_ns;
-          go prev (Some c)
-        end
-        else begin
-          (* Writer-preferred or non-blocking: leave the list and retry. *)
-          if t.prefer = Prefer_writers then Metrics.validation_failure t.metrics;
-          mark_deleted node;
-          raise Validation_failed
-        end
-  in
-  let l = Atomic.get node.Node.next in
-  go node.Node.next l.Node.succ
-
-(* Writer validation (Listing 3, [w_validate]): rescan from the head until
-   we meet our own node. Under reader preference, meeting an overlapping
-   (necessarily reader) node first means we delete ourselves and fail;
-   under writer preference, we wait for that reader to leave instead. *)
-let w_validate t node ~blocking ~deadline_ns =
-  if Atomic.get Fault.enabled && Fault.skip fp_w_validate_skip then ()
-  else
-  let rec go prev cur =
-    match cur with
-    | None ->
-      (* Our node is marked only by us; it must be reachable. *)
-      assert false
-    | Some c ->
-      if c == node then ()
-      else
-        let cl = Atomic.get c.Node.next in
-        if cl.Node.marked then begin
-          try_unlink prev c cl.Node.succ;
-          go prev cl.Node.succ
-        end
-        else if c.Node.hi <= node.Node.lo then go c.Node.next cl.Node.succ
-        else if blocking && t.prefer = Prefer_writers then begin
-          (* Overlapping reader: under writer preference the reader will
-             self-abort (or finish); wait until its node is marked. *)
-          wait_until_marked t ~node c ~blocking ~deadline_ns;
-          go prev (Some c)
-        end
-        else begin
-          Metrics.validation_failure t.metrics;
-          mark_deleted node;
-          raise Validation_failed
-        end
-  in
-  let l = Atomic.get t.head in
-  go t.head l.Node.succ
-
-(* One insertion-plus-validation attempt; runs inside the epoch. [linked]
-   is set once the insertion CAS succeeds, so a timed-out caller knows
-   whether to mark-and-retreat (linked) or recycle directly (not). *)
-let try_insert t session node failures ~blocking ~deadline_ns ~linked =
-  let fail_event () =
-    incr failures;
-    if Fairgate.failures_exceeded session ~failures:!failures then
-      raise Out_of_budget;
-    if not blocking then raise Would_block
-  in
-  let rec from_head () = traverse t.head
-  and traverse prev =
-    let l = Atomic.get prev in
-    if l.Node.marked then
-      if prev == t.head then begin
-        ignore
-          (Atomic.compare_and_set t.head l (Node.link ~marked:false l.Node.succ));
-        traverse prev
-      end
-      else begin
-        Metrics.restart t.metrics;
-        fail_event ();
-        from_head ()
-      end
-    else
-      match l.Node.succ with
-      | None -> insert_here prev l None
-      | Some cur ->
-        let curl = Atomic.get cur.Node.next in
-        if curl.Node.marked then begin
-          if Atomic.compare_and_set prev l (Node.link ~marked:false curl.Node.succ)
-          then Node.retire cur;
-          traverse prev
-        end
-        else begin
-          match compare_nodes ~cur ~node with
-          | Node_precedes -> insert_here prev l (Some cur)
-          | Cur_precedes -> traverse cur.Node.next
-          | Conflict ->
-            (* Unsound skip: walk past the conflicting holder as if
-               compatible. The validation scan would normally repair
-               this, so a detectable violation needs the matching
-               validation skip armed too. *)
-            if Atomic.get Fault.enabled && Fault.skip fp_conflict_wait_skip
-            then traverse cur.Node.next
-            else begin
-              wait_until_marked t ~node cur ~blocking ~deadline_ns;
-              traverse prev
-            end
-        end
-  and insert_here prev expected succ =
-    (* A stall here widens the window between choosing the insertion point
-       and publishing the node — the exact race the validation scans
-       exist to repair. *)
-    if Atomic.get Fault.enabled then Fault.hit fp_insert_cas;
-    Atomic.set node.Node.next (Node.link ~marked:false succ);
-    if (not (Atomic.get Fault.enabled && Fault.cas_fails fp_insert_cas))
-       && Atomic.compare_and_set prev expected
-            (Node.link ~marked:false (Some node))
-    then begin
-      linked := true;
-      if node.Node.reader then r_validate t node ~blocking ~deadline_ns
-      else w_validate t node ~blocking ~deadline_ns
-    end
-    else begin
-      Metrics.cas_failure t.metrics;
-      fail_event ();
-      traverse prev
-    end
-  in
-  from_head ()
-
-let fast_path_acquire t node =
-  t.fast_path
-  &&
-  let l = Atomic.get t.head in
-  (not l.Node.marked)
-  && l.Node.succ = None
-  && Atomic.compare_and_set t.head l node.Node.self_link
-
-(* Blocking acquisition: loops on validation failures (fresh node each
-   retry, as in Listing 2's do-while) and escalates through the fairness
-   gate when the failure budget runs out. *)
-let acquire_blocking t session ~node r =
-  let reader = node.Node.reader in
-  let failures = ref 0 in
-  let rec attempt node =
-    if fast_path_acquire t node then begin
-      Metrics.fast_path_hit t.metrics;
-      node
-    end
-    else begin
-      Epoch.enter Node.epoch;
-      match
-        try_insert t session node failures ~blocking:true
-          ~deadline_ns:max_int ~linked:(ref false)
-      with
-      | () -> Epoch.leave Node.epoch; node
-      | exception Validation_failed ->
-        Epoch.leave Node.epoch;
-        incr failures;
-        if Fairgate.failures_exceeded session ~failures:!failures then begin
-          Metrics.escalation t.metrics;
-          Fairgate.escalate session
-        end;
-        (* The abandoned node is still linked (marked); others unlink and
-           recycle it. Start over with a fresh one. *)
-        attempt (Node.alloc ~reader r)
-      | exception Out_of_budget ->
-        Epoch.leave Node.epoch;
-        Metrics.escalation t.metrics;
-        Fairgate.escalate session;
-        attempt node
-      | exception e -> Epoch.leave Node.epoch; raise e
-    end
-  in
-  attempt node
-
-let acquire t ~mode r =
-  let reader = match mode with Lockstat.Read -> true | Lockstat.Write -> false in
-  let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in
-  (* Try the empty-list fast path before opening a fairness session: the
-     session (and the retry machinery behind it) only matters once we have
-     to insert into a non-empty list, and skipping it keeps the fast path
-     allocation-light. *)
-  let node = Node.alloc ~reader r in
-  if fast_path_acquire t node then begin
-    Metrics.fast_acquisition t.metrics;
-    hist_acquired t node;
-    (match t.stats with
-     | None -> ()
-     | Some s -> Lockstat.add s mode (Clock.now_ns () - t0));
-    node
-  end
-  else begin
-    let session = Fairgate.start t.gate in
-    let node = acquire_blocking t session ~node r in
-    Fairgate.finish session;
-    Metrics.acquisition t.metrics;
-    hist_acquired t node;
-    (match t.stats with
-     | None -> ()
-     | Some s -> Lockstat.add s mode (Clock.now_ns () - t0));
-    node
-  end
-
-let read_acquire t r = acquire t ~mode:Lockstat.Read r
-
-let write_acquire t r = acquire t ~mode:Lockstat.Write r
-
-(* Lean entry points for a composing frontend (lib/shard) whose sub-locks
-   carry no Lockstat and record no history — the frontend owns both, so
-   the per-acquisition stats/history branches of [acquire]/[release] are
-   dead weight on a path taken once per shard per operation. Metrics and
-   chaos fault points stay: observability and fault coverage do not
-   depend on which layer drove the acquisition. *)
-let sub_acquire t ~reader r =
-  let node = Node.alloc ~reader r in
-  if fast_path_acquire t node then begin
-    Metrics.fast_acquisition t.metrics;
-    node
-  end
-  else begin
-    let session = Fairgate.start t.gate in
-    let node = acquire_blocking t session ~node r in
-    Fairgate.finish session;
-    Metrics.acquisition t.metrics;
-    node
-  end
-
-let sub_release t node =
-  if Atomic.get Fault.enabled then Fault.delay fp_release;
-  if t.fast_path then begin
-    let l = Atomic.get t.head in
-    if l.Node.marked && Node.succ_is l node
-       && Atomic.compare_and_set t.head l Node.nil
-    then Node.retire node
-    else mark_deleted node
-  end
-  else mark_deleted node
-
-let try_acquire_nb t ~reader r =
-  let session = Fairgate.start None in
-  let node = Node.alloc ~reader r in
-  if fast_path_acquire t node then begin
-    Metrics.fast_path_hit t.metrics;
-    Metrics.acquisition t.metrics;
-    hist_acquired t node;
-    Some node
-  end
-  else begin
-    Epoch.enter Node.epoch;
-    match
-      try_insert t session node (ref 0) ~blocking:false ~deadline_ns:max_int
-        ~linked:(ref false)
-    with
-    | () ->
-      Epoch.leave Node.epoch;
-      Metrics.acquisition t.metrics;
-      hist_acquired t node;
-      Some node
-    | exception Would_block ->
-      Epoch.leave Node.epoch;
-      (* Never linked: recycle directly. *)
-      Node.retire node;
-      hist_failed t ~mode:(if reader then Lockstat.Read else Lockstat.Write) r;
-      None
-    | exception Validation_failed ->
-      (* Linked then self-deleted; others will unlink it. *)
-      Epoch.leave Node.epoch;
-      hist_failed t ~mode:(if reader then Lockstat.Read else Lockstat.Write) r;
-      None
-    | exception e -> Epoch.leave Node.epoch; raise e
-  end
-
-let try_read_acquire t r = try_acquire_nb t ~reader:true r
-
-let try_write_acquire t r = try_acquire_nb t ~reader:false r
-
-(* Deadline-bounded acquisition. Validation failures retry with a fresh
-   node (as in the blocking path) while the deadline allows; [Timed_out]
-   unwinds by mark-and-retreat when the node is linked — exactly the
-   release mechanism — and by direct recycling when it never was. No
-   fairness escalation: the impatient mode's auxiliary lock cannot honour
-   a deadline. *)
-let acquire_opt t ~mode ~deadline_ns r =
-  let reader = match mode with Lockstat.Read -> true | Lockstat.Write -> false in
-  let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in
-  let session = Fairgate.start None in
-  let rec attempt node =
-    if fast_path_acquire t node then begin
-      Metrics.fast_path_hit t.metrics;
-      Some node
-    end
-    else begin
-      let linked = ref false in
-      Epoch.enter Node.epoch;
-      match
-        try_insert t session node (ref 0) ~blocking:true ~deadline_ns ~linked
-      with
-      | () -> Epoch.leave Node.epoch; Some node
-      | exception Validation_failed ->
-        Epoch.leave Node.epoch;
-        (* Our node is already marked; retry with a fresh one unless the
-           deadline has passed. *)
-        if deadline_ns <> max_int && Clock.now_ns () > deadline_ns then None
-        else attempt (Node.alloc ~reader r)
-      | exception Timed_out ->
-        Epoch.leave Node.epoch;
-        if !linked then mark_deleted node else Node.retire node;
-        None
-      | exception e -> Epoch.leave Node.epoch; raise e
-    end
-  in
-  let result = attempt (Node.alloc ~reader r) in
-  Fairgate.finish session;
-  (match result with
-   | Some node ->
-     Metrics.acquisition t.metrics;
-     hist_acquired t node;
-     (match t.stats with
-      | None -> ()
-      | Some s -> Lockstat.add s mode (Clock.now_ns () - t0))
-   | None ->
-     Metrics.timeout t.metrics;
-     hist_failed t ~mode r);
-  result
-
-let read_acquire_opt t ~deadline_ns r =
-  acquire_opt t ~mode:Lockstat.Read ~deadline_ns r
-
-let write_acquire_opt t ~deadline_ns r =
-  acquire_opt t ~mode:Lockstat.Write ~deadline_ns r
-
-let release t node =
-  hist_released node;
-  if Atomic.get Fault.enabled then Fault.delay fp_release;
-  if t.fast_path then begin
-    let l = Atomic.get t.head in
-    if l.Node.marked && Node.succ_is l node
-       && Atomic.compare_and_set t.head l Node.nil
-    then Node.retire node
-    else mark_deleted node
-  end
-  else mark_deleted node
-
-let with_read t r f =
-  let h = read_acquire t r in
-  match f () with
-  | v -> release t h; v
-  | exception e -> release t h; raise e
-
-let with_write t r f =
-  let h = write_acquire t r in
-  match f () with
-  | v -> release t h; v
-  | exception e -> release t h; raise e
-
-let range_of_handle = Node.range_of
-
-let is_reader (n : handle) = n.Node.reader
-
-let metrics t = Metrics.snapshot t.metrics
-
-let reset_metrics t = Metrics.reset t.metrics
-
-(* Non-inserting conflict drain, the primitive behind the sharded
-   frontend's wide path (lib/shard): wait until no live node in this list
-   conflicts with [r] in the given mode, without ever linking a node of our
-   own. The caller has already made itself visible to future acquirers
-   (via the shard revocation counters), so a clean pass here means every
-   conflicting holder that could precede us has released. Waits terminate:
-   an unmarked conflicting node either completes and is marked by release,
-   or observes the caller's revocation counter and marks itself to
-   retreat. Returns [false] when non-blocking (or past the deadline) with
-   a conflict still live. *)
-let rec drain_conflicts t ~reader ~blocking ~deadline_ns r =
-  let l0 = Atomic.get t.head in
-  if (not l0.Node.marked) && l0.Node.succ = None then
-    (* Empty list: no holder to wait for, and the seq-cst head load orders
-       after the caller's counter raise, so any narrow acquirer that links
-       a node later must observe the raised counter and retreat. Skipping
-       the pinned walk here keeps wide acquisitions over idle shards at
-       one atomic load per shard. *)
-    true
-  else drain_conflicts_slow t ~reader ~blocking ~deadline_ns r
-
-and drain_conflicts_slow t ~reader ~blocking ~deadline_ns r =
-  let lo = Range.lo r and hi = Range.hi r in
-  let conflicts (c : Node.t) =
-    c.Node.lo < hi && lo < c.Node.hi && not (reader && c.Node.reader)
-  in
-  let wait_marked (c : Node.t) =
-    (* As in [wait_until_marked], minus the node-specific bookkeeping. *)
-    Metrics.overlap_wait t.metrics;
-    if Atomic.get Fault.enabled then Fault.hit fp_overlap_wait;
-    Waitboard.wait_begin t.board ~lo ~hi ~write:(not reader);
-    let b = Backoff.create () in
-    let timed_out = ref false in
-    while (not !timed_out) && not (Atomic.get c.Node.next).Node.marked do
-      if deadline_ns <> max_int && Clock.now_ns () > deadline_ns then
-        timed_out := true
-      else Backoff.once b
-    done;
-    Waitboard.wait_end t.board;
-    not !timed_out
-  in
-  Epoch.pin Node.epoch (fun () ->
-      let rec walk cur =
-        match cur with
-        | None -> true
-        | Some c ->
-          if c.Node.lo >= hi then true (* list sorted by lo: nothing past *)
-          else
-            let cl = Atomic.get c.Node.next in
-            if cl.Node.marked then walk cl.Node.succ
-            else if not (conflicts c) then walk cl.Node.succ
-            else if not blocking then false
-            else if wait_marked c then walk (Atomic.get c.Node.next).Node.succ
-            else false
-      in
-      let rec from_head () =
-        let l = Atomic.get t.head in
-        match l.Node.succ with
-        | None -> true
-        | Some n ->
-          if l.Node.marked then begin
-            (* Fast-path holder: an exclusive single-node claim of the
-               whole list. Its release (or demotion by an inserter)
-               replaces the head link, so wait for the head to change. *)
-            if not (conflicts n) then true
-            else if not blocking then false
-            else begin
-              Metrics.overlap_wait t.metrics;
-              Waitboard.wait_begin t.board ~lo ~hi ~write:(not reader);
-              let b = Backoff.create () in
-              let timed_out = ref false in
-              while (not !timed_out) && Atomic.get t.head == l do
-                if deadline_ns <> max_int && Clock.now_ns () > deadline_ns
-                then timed_out := true
-                else Backoff.once b
-              done;
-              Waitboard.wait_end t.board;
-              if !timed_out then false else from_head ()
-            end
-          end
-          else walk (Some n)
-      in
-      from_head ())
-
-let holders t =
-  Epoch.pin Node.epoch (fun () ->
-      let rec walk l acc =
-        match l.Node.succ with
-        | None -> List.rev acc
-        | Some n ->
-          let nl = Atomic.get n.Node.next in
-          let acc =
-            if nl.Node.marked then acc
-            else (Node.range_of n, if n.Node.reader then `Reader else `Writer) :: acc
-          in
-          walk nl acc
-      in
-      walk (Atomic.get t.head) [])
+(* The production instance: List_rw_core applied to the pass-through
+   runtime, the global Node pool, and the production Fairgate (see
+   list_rw_core.ml for the body, list_rw.mli for semantics). *)
+include List_rw_core.Make (Rlk_primitives.Traced_atomic.Real) (Node) (Fairgate)

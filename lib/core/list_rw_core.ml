@@ -1,0 +1,646 @@
+open Rlk_primitives
+module Fault = Rlk_chaos.Fault
+module Waitboard = Rlk_chaos.Waitboard
+
+(* Functorized body of {!List_rw} (the paper's reader-writer list-based
+   range lock, Section 4.2, incl. the Section 4.5 fast path); see
+   list_rw.mli for semantics. [List_rw] is this functor applied to
+   {!Traced_atomic.Real}, the production {!Node} and {!Fairgate}; the
+   model checker applies it to its recording runtime and a fresh node
+   instance per explored run, which is how the insert/validate races the
+   paper reasons about informally get explored exhaustively.
+
+   Atomic accesses on the head and node links go through [Sim.A] (the
+   scheduling points); waits go through [Sim.wait_until]. Metrics, chaos
+   fault points, history recording and the waitboard stay concrete —
+   observation-only facilities the checker need not interleave. *)
+
+(* Chaos injection points (see doc/robustness.md). The [.skip] points are
+   deliberately unsound — they disable a validation scan, breaking
+   reader/writer exclusion detectably — and fire only when a chaos plan
+   lists them as unsound (the torture harness's and the model checker's
+   catch-a-real-bug self tests). Top-level so every instantiation shares
+   the same registered points. *)
+let fp_insert_cas = Fault.point "list_rw.insert_cas"
+let fp_overlap_wait = Fault.point "list_rw.overlap_wait"
+let fp_release = Fault.point "list_rw.release"
+let fp_r_validate_skip = Fault.point "list_rw.r_validate.skip"
+let fp_w_validate_skip = Fault.point "list_rw.w_validate.skip"
+let fp_conflict_wait_skip = Fault.point "list_rw.conflict_wait.skip"
+
+type preference = Prefer_readers | Prefer_writers
+
+module Make
+    (Sim : Traced_atomic.SIM)
+    (N : Node_core.S with type 'a aref = 'a Sim.A.t)
+    (G : Fairgate_core.S) =
+struct
+  type nonrec preference = preference = Prefer_readers | Prefer_writers
+
+  type t = {
+    head : N.link Sim.A.t;
+    fast_path : bool;
+    prefer : preference;
+    gate : G.t option;
+    stats : Lockstat.t option;
+    metrics : Metrics.t;
+    board : Waitboard.t;
+  }
+
+  type handle = N.t
+
+  let name = "list-rw"
+
+  let create ?stats ?(fast_path = false) ?fairness ?(prefer = Prefer_readers)
+      () =
+    let board = Waitboard.create ~name in
+    if Rlk_chaos.Watchdog.auto_watch () then Rlk_chaos.Watchdog.watch board;
+    (* The head is the hottest word of the lock: isolate it so concurrent
+       acquisitions on *other* locks (e.g. neighbouring shards of
+       Rlk_shard) never invalidate its cache line. *)
+    { head = Sim.A.make_contended N.nil;
+      fast_path;
+      prefer;
+      gate = Option.map (fun patience -> G.create ~patience ()) fairness;
+      stats;
+      metrics = Metrics.create ();
+      board }
+
+  exception Out_of_budget
+  exception Would_block
+  exception Validation_failed
+  exception Timed_out
+
+  (* History hooks for the verification oracle (lib/check): live only when
+     the lock carries the [?stats] observability hook AND recording is
+     armed, so the default configuration pays one load-and-branch. Acquired
+     is recorded strictly after the grant and Released strictly before the
+     node is marked, keeping every recorded span inside the real hold. *)
+  let hist_acquired t (node : N.t) =
+    if Atomic.get History.enabled && Option.is_some t.stats then
+      node.N.span <-
+        History.acquired ~lock:name
+          ~mode:(if node.N.reader then Lockstat.Read else Lockstat.Write)
+          ~lo:node.N.lo ~hi:node.N.hi
+
+  let hist_failed t ~mode r =
+    if Atomic.get History.enabled && Option.is_some t.stats then
+      History.failed ~lock:name ~mode ~lo:(Range.lo r) ~hi:(Range.hi r)
+
+  let hist_released (node : N.t) =
+    if node.N.span >= 0 then begin
+      if Atomic.get History.enabled then
+        History.released ~lock:name ~span:node.N.span
+          ~mode:(if node.N.reader then Lockstat.Read else Lockstat.Write)
+          ~lo:node.N.lo ~hi:node.N.hi;
+      node.N.span <- -1
+    end
+
+  (* The paper's reader-writer [compare] (Listing 2): position of [node]
+     relative to [cur]. Overlapping readers order by start. *)
+  type position = Cur_precedes | Node_precedes | Conflict
+
+  let compare_nodes ~cur ~node =
+    let both_readers = cur.N.reader && node.N.reader in
+    if node.N.lo >= cur.N.hi then Cur_precedes
+    else if both_readers && node.N.lo >= cur.N.lo then Cur_precedes
+    else if cur.N.lo >= node.N.hi then Node_precedes
+    else if both_readers && cur.N.lo >= node.N.lo then Node_precedes
+    else Conflict
+
+  let mark_deleted node =
+    let rec go () =
+      let l = Sim.A.get node.N.next in
+      assert (not l.N.marked);
+      if
+        not
+          (Sim.A.compare_and_set node.N.next l
+             (N.link ~marked:true l.N.succ))
+      then go ()
+    in
+    go ()
+
+  (* Unlink the marked node [c], reachable through the cell [prev],
+     mimicking the raw-pointer CAS of the paper: the attempt silently fails
+     when [prev] no longer holds an unmarked pointer to [c]. *)
+  let try_unlink prev c next_succ =
+    let expected = Sim.A.get prev in
+    if (not expected.N.marked) && N.succ_is expected c
+       && Sim.A.compare_and_set prev expected (N.link ~marked:false next_succ)
+    then N.retire c
+
+  let wait_until_marked t ~(node : N.t) c ~blocking ~deadline_ns =
+    Metrics.overlap_wait t.metrics;
+    if not blocking then raise Would_block;
+    if Atomic.get Fault.enabled then Fault.hit fp_overlap_wait;
+    Waitboard.wait_begin t.board ~lo:node.N.lo ~hi:node.N.hi
+      ~write:(not node.N.reader);
+    let timed_out = ref false in
+    Sim.wait_until (fun () ->
+        (Sim.A.get c.N.next).N.marked
+        || deadline_ns <> max_int
+           && Clock.now_ns () > deadline_ns
+           &&
+           (timed_out := true;
+            true));
+    Waitboard.wait_end t.board;
+    if !timed_out then raise Timed_out
+
+  (* Reader validation (Listing 3, [r_validate]): scan forward from our
+     node until ranges start at or past our end. With the paper's default
+     reader preference we wait out overlapping writers; with the reversed
+     scheme (Section 4.2's last remark) the reader defers — it deletes
+     itself and fails validation, and the writer waits instead. *)
+  let r_validate t node ~blocking ~deadline_ns =
+    if Atomic.get Fault.enabled && Fault.skip fp_r_validate_skip then ()
+    else
+      let rec go prev cur =
+        match cur with
+        | None -> ()
+        | Some c ->
+          if c.N.lo >= node.N.hi then ()
+          else
+            let cl = Sim.A.get c.N.next in
+            if cl.N.marked then begin
+              try_unlink prev c cl.N.succ;
+              go prev cl.N.succ
+            end
+            else if c.N.reader then go c.N.next cl.N.succ
+            else if blocking && t.prefer = Prefer_readers then begin
+              (* Overlapping writer: it entered before us, defer to it. *)
+              wait_until_marked t ~node c ~blocking ~deadline_ns;
+              go prev (Some c)
+            end
+            else begin
+              (* Writer-preferred or non-blocking: leave the list and
+                 retry. *)
+              if t.prefer = Prefer_writers then
+                Metrics.validation_failure t.metrics;
+              mark_deleted node;
+              raise Validation_failed
+            end
+      in
+      let l = Sim.A.get node.N.next in
+      go node.N.next l.N.succ
+
+  (* Writer validation (Listing 3, [w_validate]): rescan from the head
+     until we meet our own node. Under reader preference, meeting an
+     overlapping (necessarily reader) node first means we delete ourselves
+     and fail; under writer preference, we wait for that reader to leave
+     instead. *)
+  let w_validate t node ~blocking ~deadline_ns =
+    if Atomic.get Fault.enabled && Fault.skip fp_w_validate_skip then ()
+    else
+      let rec go prev cur =
+        match cur with
+        | None ->
+          (* Our node is marked only by us; it must be reachable. *)
+          assert false
+        | Some c ->
+          if c == node then ()
+          else
+            let cl = Sim.A.get c.N.next in
+            if cl.N.marked then begin
+              try_unlink prev c cl.N.succ;
+              go prev cl.N.succ
+            end
+            else if c.N.hi <= node.N.lo then go c.N.next cl.N.succ
+            else if blocking && t.prefer = Prefer_writers then begin
+              (* Overlapping reader: under writer preference the reader
+                 will self-abort (or finish); wait until its node is
+                 marked. *)
+              wait_until_marked t ~node c ~blocking ~deadline_ns;
+              go prev (Some c)
+            end
+            else begin
+              Metrics.validation_failure t.metrics;
+              mark_deleted node;
+              raise Validation_failed
+            end
+      in
+      let l = Sim.A.get t.head in
+      go t.head l.N.succ
+
+  (* One insertion-plus-validation attempt; runs inside the epoch. [linked]
+     is set once the insertion CAS succeeds, so a timed-out caller knows
+     whether to mark-and-retreat (linked) or recycle directly (not). *)
+  let try_insert t session node failures ~blocking ~deadline_ns ~linked =
+    let fail_event () =
+      incr failures;
+      if G.failures_exceeded session ~failures:!failures then
+        raise Out_of_budget;
+      if not blocking then raise Would_block
+    in
+    let rec from_head () = traverse t.head
+    and traverse prev =
+      let l = Sim.A.get prev in
+      if l.N.marked then
+        if prev == t.head then begin
+          ignore
+            (Sim.A.compare_and_set t.head l (N.link ~marked:false l.N.succ));
+          traverse prev
+        end
+        else begin
+          Metrics.restart t.metrics;
+          fail_event ();
+          from_head ()
+        end
+      else
+        match l.N.succ with
+        | None -> insert_here prev l None
+        | Some cur ->
+          let curl = Sim.A.get cur.N.next in
+          if curl.N.marked then begin
+            if Sim.A.compare_and_set prev l (N.link ~marked:false curl.N.succ)
+            then N.retire cur;
+            traverse prev
+          end
+          else begin
+            match compare_nodes ~cur ~node with
+            | Node_precedes -> insert_here prev l (Some cur)
+            | Cur_precedes -> traverse cur.N.next
+            | Conflict ->
+              (* Unsound skip: walk past the conflicting holder as if
+                 compatible. The validation scan would normally repair
+                 this, so a detectable violation needs the matching
+                 validation skip armed too. *)
+              if Atomic.get Fault.enabled && Fault.skip fp_conflict_wait_skip
+              then traverse cur.N.next
+              else begin
+                (* Each conflict wait counts against the fairness budget:
+                   our node is not yet linked, so every wait is a window
+                   for later arrivals to slip past us. Without this a
+                   continuous reader stream bypasses a waiting writer
+                   indefinitely and the impatient counter never fires
+                   (bounded-bypass property in test_core). *)
+                if blocking then fail_event ();
+                wait_until_marked t ~node cur ~blocking ~deadline_ns;
+                traverse prev
+              end
+          end
+    and insert_here prev expected succ =
+      (* A stall here widens the window between choosing the insertion
+         point and publishing the node — the exact race the validation
+         scans exist to repair. *)
+      if Atomic.get Fault.enabled then Fault.hit fp_insert_cas;
+      Sim.A.set node.N.next (N.link ~marked:false succ);
+      if (not (Atomic.get Fault.enabled && Fault.cas_fails fp_insert_cas))
+         && Sim.A.compare_and_set prev expected
+              (N.link ~marked:false (Some node))
+      then begin
+        linked := true;
+        if node.N.reader then r_validate t node ~blocking ~deadline_ns
+        else w_validate t node ~blocking ~deadline_ns
+      end
+      else begin
+        Metrics.cas_failure t.metrics;
+        fail_event ();
+        traverse prev
+      end
+    in
+    from_head ()
+
+  let fast_path_acquire t node =
+    t.fast_path
+    &&
+    let l = Sim.A.get t.head in
+    (not l.N.marked)
+    && l.N.succ = None
+    && Sim.A.compare_and_set t.head l node.N.self_link
+
+  (* Blocking acquisition: loops on validation failures (fresh node each
+     retry, as in Listing 2's do-while) and escalates through the fairness
+     gate when the failure budget runs out. *)
+  let acquire_blocking t session ~node r =
+    let reader = node.N.reader in
+    let failures = ref 0 in
+    let rec attempt node =
+      if fast_path_acquire t node then begin
+        Metrics.fast_path_hit t.metrics;
+        node
+      end
+      else begin
+        N.epoch_enter ();
+        match
+          try_insert t session node failures ~blocking:true
+            ~deadline_ns:max_int ~linked:(ref false)
+        with
+        | () -> N.epoch_leave (); node
+        | exception Validation_failed ->
+          N.epoch_leave ();
+          incr failures;
+          if G.failures_exceeded session ~failures:!failures then begin
+            Metrics.escalation t.metrics;
+            G.escalate session
+          end;
+          (* The abandoned node is still linked (marked); others unlink and
+             recycle it. Start over with a fresh one. *)
+          attempt (N.alloc ~reader r)
+        | exception Out_of_budget ->
+          N.epoch_leave ();
+          Metrics.escalation t.metrics;
+          G.escalate session;
+          attempt node
+        | exception e -> N.epoch_leave (); raise e
+      end
+    in
+    attempt node
+
+  let acquire t ~mode r =
+    let reader =
+      match mode with Lockstat.Read -> true | Lockstat.Write -> false
+    in
+    let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in
+    (* Try the empty-list fast path before opening a fairness session: the
+       session (and the retry machinery behind it) only matters once we
+       have to insert into a non-empty list, and skipping it keeps the fast
+       path allocation-light. *)
+    let node = N.alloc ~reader r in
+    if fast_path_acquire t node then begin
+      Metrics.fast_acquisition t.metrics;
+      hist_acquired t node;
+      (match t.stats with
+       | None -> ()
+       | Some s -> Lockstat.add s mode (Clock.now_ns () - t0));
+      node
+    end
+    else begin
+      let session = G.start t.gate in
+      let node = acquire_blocking t session ~node r in
+      G.finish session;
+      Metrics.acquisition t.metrics;
+      hist_acquired t node;
+      (match t.stats with
+       | None -> ()
+       | Some s -> Lockstat.add s mode (Clock.now_ns () - t0));
+      node
+    end
+
+  let read_acquire t r = acquire t ~mode:Lockstat.Read r
+
+  let write_acquire t r = acquire t ~mode:Lockstat.Write r
+
+  (* Lean entry points for a composing frontend (lib/shard) whose sub-locks
+     carry no Lockstat and record no history — the frontend owns both, so
+     the per-acquisition stats/history branches of [acquire]/[release] are
+     dead weight on a path taken once per shard per operation. Metrics and
+     chaos fault points stay: observability and fault coverage do not
+     depend on which layer drove the acquisition. *)
+  let sub_acquire t ~reader r =
+    let node = N.alloc ~reader r in
+    if fast_path_acquire t node then begin
+      Metrics.fast_acquisition t.metrics;
+      node
+    end
+    else begin
+      let session = G.start t.gate in
+      let node = acquire_blocking t session ~node r in
+      G.finish session;
+      Metrics.acquisition t.metrics;
+      node
+    end
+
+  let sub_release t node =
+    if Atomic.get Fault.enabled then Fault.delay fp_release;
+    if t.fast_path then begin
+      let l = Sim.A.get t.head in
+      if l.N.marked && N.succ_is l node
+         && Sim.A.compare_and_set t.head l N.nil
+      then N.retire node
+      else mark_deleted node
+    end
+    else mark_deleted node
+
+  let try_acquire_nb t ~reader r =
+    let session = G.start None in
+    let node = N.alloc ~reader r in
+    if fast_path_acquire t node then begin
+      Metrics.fast_path_hit t.metrics;
+      Metrics.acquisition t.metrics;
+      hist_acquired t node;
+      Some node
+    end
+    else begin
+      N.epoch_enter ();
+      match
+        try_insert t session node (ref 0) ~blocking:false ~deadline_ns:max_int
+          ~linked:(ref false)
+      with
+      | () ->
+        N.epoch_leave ();
+        Metrics.acquisition t.metrics;
+        hist_acquired t node;
+        Some node
+      | exception Would_block ->
+        N.epoch_leave ();
+        (* Never linked: recycle directly. *)
+        N.retire node;
+        hist_failed t ~mode:(if reader then Lockstat.Read else Lockstat.Write)
+          r;
+        None
+      | exception Validation_failed ->
+        (* Linked then self-deleted; others will unlink it. *)
+        N.epoch_leave ();
+        hist_failed t ~mode:(if reader then Lockstat.Read else Lockstat.Write)
+          r;
+        None
+      | exception e -> N.epoch_leave (); raise e
+    end
+
+  let try_read_acquire t r = try_acquire_nb t ~reader:true r
+
+  let try_write_acquire t r = try_acquire_nb t ~reader:false r
+
+  (* Deadline-bounded acquisition. Validation failures retry with a fresh
+     node (as in the blocking path) while the deadline allows; [Timed_out]
+     unwinds by mark-and-retreat when the node is linked — exactly the
+     release mechanism — and by direct recycling when it never was. No
+     fairness escalation: the impatient mode's auxiliary lock cannot honour
+     a deadline. *)
+  let acquire_opt t ~mode ~deadline_ns r =
+    let reader =
+      match mode with Lockstat.Read -> true | Lockstat.Write -> false
+    in
+    let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in
+    let session = G.start None in
+    let rec attempt node =
+      if fast_path_acquire t node then begin
+        Metrics.fast_path_hit t.metrics;
+        Some node
+      end
+      else begin
+        let linked = ref false in
+        N.epoch_enter ();
+        match
+          try_insert t session node (ref 0) ~blocking:true ~deadline_ns
+            ~linked
+        with
+        | () -> N.epoch_leave (); Some node
+        | exception Validation_failed ->
+          N.epoch_leave ();
+          (* Our node is already marked; retry with a fresh one unless the
+             deadline has passed. *)
+          if deadline_ns <> max_int && Clock.now_ns () > deadline_ns then None
+          else attempt (N.alloc ~reader r)
+        | exception Timed_out ->
+          N.epoch_leave ();
+          if !linked then mark_deleted node else N.retire node;
+          None
+        | exception e -> N.epoch_leave (); raise e
+      end
+    in
+    let result = attempt (N.alloc ~reader r) in
+    G.finish session;
+    (match result with
+     | Some node ->
+       Metrics.acquisition t.metrics;
+       hist_acquired t node;
+       (match t.stats with
+        | None -> ()
+        | Some s -> Lockstat.add s mode (Clock.now_ns () - t0))
+     | None ->
+       Metrics.timeout t.metrics;
+       hist_failed t ~mode r);
+    result
+
+  let read_acquire_opt t ~deadline_ns r =
+    acquire_opt t ~mode:Lockstat.Read ~deadline_ns r
+
+  let write_acquire_opt t ~deadline_ns r =
+    acquire_opt t ~mode:Lockstat.Write ~deadline_ns r
+
+  let release t node =
+    hist_released node;
+    if Atomic.get Fault.enabled then Fault.delay fp_release;
+    if t.fast_path then begin
+      let l = Sim.A.get t.head in
+      if l.N.marked && N.succ_is l node
+         && Sim.A.compare_and_set t.head l N.nil
+      then N.retire node
+      else mark_deleted node
+    end
+    else mark_deleted node
+
+  let with_read t r f =
+    let h = read_acquire t r in
+    match f () with
+    | v -> release t h; v
+    | exception e -> release t h; raise e
+
+  let with_write t r f =
+    let h = write_acquire t r in
+    match f () with
+    | v -> release t h; v
+    | exception e -> release t h; raise e
+
+  let range_of_handle = N.range_of
+
+  let is_reader (n : handle) = n.N.reader
+
+  let metrics t = Metrics.snapshot t.metrics
+
+  let reset_metrics t = Metrics.reset t.metrics
+
+  (* Non-inserting conflict drain, the primitive behind the sharded
+     frontend's wide path (lib/shard): wait until no live node in this list
+     conflicts with [r] in the given mode, without ever linking a node of
+     our own. The caller has already made itself visible to future
+     acquirers (via the shard revocation counters), so a clean pass here
+     means every conflicting holder that could precede us has released.
+     Waits terminate: an unmarked conflicting node either completes and is
+     marked by release, or observes the caller's revocation counter and
+     marks itself to retreat. Returns [false] when non-blocking (or past
+     the deadline) with a conflict still live. *)
+  let rec drain_conflicts t ~reader ~blocking ~deadline_ns r =
+    let l0 = Sim.A.get t.head in
+    if (not l0.N.marked) && l0.N.succ = None then
+      (* Empty list: no holder to wait for, and the seq-cst head load
+         orders after the caller's counter raise, so any narrow acquirer
+         that links a node later must observe the raised counter and
+         retreat. Skipping the pinned walk here keeps wide acquisitions
+         over idle shards at one atomic load per shard. *)
+      true
+    else drain_conflicts_slow t ~reader ~blocking ~deadline_ns r
+
+  and drain_conflicts_slow t ~reader ~blocking ~deadline_ns r =
+    let lo = Range.lo r and hi = Range.hi r in
+    let conflicts (c : N.t) =
+      c.N.lo < hi && lo < c.N.hi && not (reader && c.N.reader)
+    in
+    let wait_marked (c : N.t) =
+      (* As in [wait_until_marked], minus the node-specific bookkeeping. *)
+      Metrics.overlap_wait t.metrics;
+      if Atomic.get Fault.enabled then Fault.hit fp_overlap_wait;
+      Waitboard.wait_begin t.board ~lo ~hi ~write:(not reader);
+      let timed_out = ref false in
+      Sim.wait_until (fun () ->
+          (Sim.A.get c.N.next).N.marked
+          || deadline_ns <> max_int
+             && Clock.now_ns () > deadline_ns
+             &&
+             (timed_out := true;
+              true));
+      Waitboard.wait_end t.board;
+      not !timed_out
+    in
+    N.epoch_pin (fun () ->
+        let rec walk cur =
+          match cur with
+          | None -> true
+          | Some c ->
+            if c.N.lo >= hi then true (* list sorted by lo: nothing past *)
+            else
+              let cl = Sim.A.get c.N.next in
+              if cl.N.marked then walk cl.N.succ
+              else if not (conflicts c) then walk cl.N.succ
+              else if not blocking then false
+              else if wait_marked c then walk (Sim.A.get c.N.next).N.succ
+              else false
+        in
+        let rec from_head () =
+          let l = Sim.A.get t.head in
+          match l.N.succ with
+          | None -> true
+          | Some n ->
+            if l.N.marked then begin
+              (* Fast-path holder: an exclusive single-node claim of the
+                 whole list. Its release (or demotion by an inserter)
+                 replaces the head link, so wait for the head to change. *)
+              if not (conflicts n) then true
+              else if not blocking then false
+              else begin
+                Metrics.overlap_wait t.metrics;
+                Waitboard.wait_begin t.board ~lo ~hi ~write:(not reader);
+                let timed_out = ref false in
+                Sim.wait_until (fun () ->
+                    Sim.A.get t.head != l
+                    || deadline_ns <> max_int
+                       && Clock.now_ns () > deadline_ns
+                       &&
+                       (timed_out := true;
+                        true));
+                Waitboard.wait_end t.board;
+                if !timed_out then false else from_head ()
+              end
+            end
+            else walk (Some n)
+        in
+        from_head ())
+
+  let holders t =
+    N.epoch_pin (fun () ->
+        let rec walk l acc =
+          match l.N.succ with
+          | None -> List.rev acc
+          | Some n ->
+            let nl = Sim.A.get n.N.next in
+            let acc =
+              if nl.N.marked then acc
+              else
+                (N.range_of n, if n.N.reader then `Reader else `Writer)
+                :: acc
+            in
+            walk nl acc
+        in
+        walk (Sim.A.get t.head) [])
+end

@@ -1,54 +1,15 @@
-type t = {
-  mutable lo : int;
-  mutable hi : int;
-  mutable reader : bool;
-  mutable span : int;
-  next : link Atomic.t;
-  mutable self_link : link;
-}
+(* The production instance: one global epoch and pool pair shared by all
+   list-based range locks, exactly as in the paper (see node_core.ml for
+   the body and node.mli for semantics).
 
-and link = { marked : bool; succ : t option }
-
-let nil = { marked = false; succ = None }
-
-let link ~marked succ = { marked; succ }
-
-let succ_is l n = match l.succ with Some m -> m == n | None -> false
-
-let range_of n = Range.v ~lo:n.lo ~hi:n.hi
-
-let epoch = Rlk_ebr.Epoch.create ()
-
-(* [self_link] caches the one link value the empty-list fast path installs:
-   [{marked = true; succ = Some self}]. It never changes (the range lives in
-   the node's mutable fields, not the link), so building it once per node —
-   instead of once per fast-path acquisition — removes the dominant
-   allocation on the fast path. *)
-let fresh () =
-  let n =
-    { lo = 0; hi = 1; reader = false; span = -1; next = Atomic.make nil;
-      self_link = nil }
-  in
-  n.self_link <- { marked = true; succ = Some n };
-  n
-
-(* The paper uses N = 128; we use a larger pool because on an oversubscribed
-   2-CPU host an epoch barrier that observes a descheduled traverser stalls
-   for a scheduling quantum, so barriers must be rarer to stay amortized
-   (see DESIGN.md "Known deviations"). *)
-let pool = Rlk_ebr.Pool.create ~target:2048 ~alloc:fresh epoch
-
-let alloc ~reader r =
-  let n = Rlk_ebr.Pool.get pool in
-  n.lo <- Range.lo r;
-  n.hi <- Range.hi r;
-  n.reader <- reader;
-  n.span <- -1;
-  (* Nodes released on the fast path come back with [next] still [nil];
-     checking first trades a fence for a load on that (hot) reuse path. *)
-  if Atomic.get n.next != nil then Atomic.set n.next nil;
-  n
-
-let retire n = Rlk_ebr.Pool.retire pool n
-
-let pool_stats () = Rlk_ebr.Pool.stats pool
+   The paper uses N = 128; we use a larger pool because on an
+   oversubscribed 2-CPU host an epoch barrier that observes a descheduled
+   traverser stalls for a scheduling quantum, so barriers must be rarer to
+   stay amortized (see DESIGN.md "Known deviations"). *)
+include
+  Node_core.Make (Rlk_primitives.Traced_atomic.Real) (Rlk_ebr.Epoch)
+    (Rlk_ebr.Pool)
+    (struct
+      let pool_target = 2048
+    end)
+    ()

@@ -8,7 +8,16 @@
 
     Nodes are recycled through one global epoch-based pool pair per domain
     (Section 4.4): every thread has two pools total, regardless of how many
-    range locks it touches — as in the paper. *)
+    range locks it touches — as in the paper.
+
+    This module is {!Node_core.Make} applied to the pass-through runtime
+    ({!Rlk_primitives.Traced_atomic.Real}); the model checker instantiates
+    the same functor over its recording runtime, one fresh instance per
+    explored run. *)
+
+type 'a aref = 'a Atomic.t
+(** The production runtime's atomic cells ({!Node_core.S} keeps this
+    abstract so the checker can substitute recording cells). *)
 
 type t = {
   mutable lo : int;
@@ -17,7 +26,7 @@ type t = {
   mutable span : int;
       (** open {!History} span carried from acquisition to release; [-1]
           when the hold is not being recorded *)
-  next : link Atomic.t;
+  next : link aref;
   mutable self_link : link;
       (** cached [{marked = true; succ = Some self}], the value the
           empty-list fast path CASes into the head — allocated once per
@@ -39,6 +48,14 @@ val range_of : t -> Range.t
 
 val epoch : Rlk_ebr.Epoch.t
 (** The global traversal epoch for all list-based range locks. *)
+
+val epoch_enter : unit -> unit
+(** [Epoch.enter] on the global epoch (the form the functorized list cores
+    consume). *)
+
+val epoch_leave : unit -> unit
+
+val epoch_pin : (unit -> 'a) -> 'a
 
 val alloc : reader:bool -> Range.t -> t
 (** Take a node from the calling domain's pool and initialize it. Must be

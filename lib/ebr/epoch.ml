@@ -1,74 +1,3 @@
-open Rlk_primitives
-module Fault = Rlk_chaos.Fault
-
-(* Chaos injection points: [delay] on [leave] keeps an epoch odd a little
-   longer (stretching grace periods); [hit] on [barrier] perturbs the
-   scanning side. *)
-let fp_leave = Fault.point "ebr.epoch.leave"
-let fp_barrier = Fault.point "ebr.barrier"
-
-(* One atomic counter per domain slot. Padding between slots is achieved by
-   allocating each Atomic.t separately (boxed), which is sufficient here:
-   the counters are written only by their owner and scanned rarely. *)
-type t = { epochs : int Atomic.t array }
-
-let create () =
-  { epochs = Array.init Domain_id.capacity (fun _ -> Atomic.make 0) }
-
-let my_cell t = t.epochs.(Domain_id.get ())
-
-let enter t =
-  let c = my_cell t in
-  let e = Atomic.get c in
-  assert (e land 1 = 0);
-  (* Publish the odd epoch before any shared read; Atomic.set is a release
-     store and subsequent Atomic reads of list links synchronize with it. *)
-  Atomic.set c (e + 1)
-
-let leave t =
-  let c = my_cell t in
-  let e = Atomic.get c in
-  assert (e land 1 = 1);
-  if Atomic.get Fault.enabled then Fault.delay fp_leave;
-  Atomic.set c (e + 1)
-
-let inside t = Atomic.get (my_cell t) land 1 = 1
-
-let barrier t =
-  if Atomic.get Fault.enabled then Fault.hit fp_barrier;
-  let self = Domain_id.get () in
-  for i = 0 to Array.length t.epochs - 1 do
-    if i <> self then begin
-      let c = t.epochs.(i) in
-      let observed = Atomic.get c in
-      if observed land 1 = 1 then begin
-        let b = Backoff.create () in
-        while Atomic.get c = observed do
-          Backoff.once b
-        done
-      end
-    end
-  done
-
-(* Single scan, no waiting: true iff no other domain is inside a
-   traversal right now. A grace period has then trivially elapsed for
-   everything retired before the call. The non-blocking form exists
-   because allocation-side code must never wait on another domain's pin:
-   a pinned domain may itself be waiting for *us* (multi-list
-   acquisitions in lib/shard grant locks in sequence, and a holder mid-
-   sequence can be what a pinned waiter blocks on), so a blocking barrier
-   inside the allocator closes a deadlock cycle. *)
-let try_barrier t =
-  if Atomic.get Fault.enabled then Fault.hit fp_barrier;
-  let self = Domain_id.get () in
-  let clean = ref true in
-  for i = 0 to Array.length t.epochs - 1 do
-    if i <> self && Atomic.get t.epochs.(i) land 1 = 1 then clean := false
-  done;
-  !clean
-
-let pin t f =
-  enter t;
-  match f () with
-  | v -> leave t; v
-  | exception e -> leave t; raise e
+(* The production instance: Epoch_core applied to the pass-through
+   runtime (see epoch_core.ml for the body). *)
+include Epoch_core.Make (Rlk_primitives.Traced_atomic.Real)

@@ -1,0 +1,99 @@
+open Rlk_primitives
+module Fault = Rlk_chaos.Fault
+
+(* Functorized body of {!Epoch} (Section 4.4's grace-period protocol); see
+   epoch.mli for semantics. [Epoch] is this functor applied to
+   {!Traced_atomic.Real}; the model checker (lib/modelcheck) applies it to
+   its recording runtime so that epoch publication/scan races are explored
+   exhaustively alongside the list protocols they protect. *)
+
+(* Chaos injection points: [delay] on [leave] keeps an epoch odd a little
+   longer (stretching grace periods); [hit] on [barrier] perturbs the
+   scanning side. *)
+let fp_leave = Fault.point "ebr.epoch.leave"
+let fp_barrier = Fault.point "ebr.barrier"
+
+(* The epoch operations needed by functorized users (Pool_core,
+   Node_core); the instances expose the same names. *)
+module type S = sig
+  type t
+
+  val create : unit -> t
+
+  val enter : t -> unit
+
+  val leave : t -> unit
+
+  val inside : t -> bool
+
+  val barrier : t -> unit
+
+  val try_barrier : t -> bool
+
+  val pin : t -> (unit -> 'a) -> 'a
+end
+
+module Make (Sim : Traced_atomic.SIM) = struct
+  module A = Sim.A
+
+  (* One atomic counter per domain slot. Padding between slots is achieved
+     by allocating each cell separately (boxed), which is sufficient here:
+     the counters are written only by their owner and scanned rarely. *)
+  type t = { epochs : int A.t array }
+
+  let create () = { epochs = Array.init Sim.capacity (fun _ -> A.make 0) }
+
+  let my_cell t = t.epochs.(Sim.domain_id ())
+
+  let enter t =
+    let c = my_cell t in
+    let e = A.get c in
+    assert (e land 1 = 0);
+    (* Publish the odd epoch before any shared read; the release store and
+       subsequent atomic reads of list links synchronize with it. *)
+    A.set c (e + 1)
+
+  let leave t =
+    let c = my_cell t in
+    let e = A.get c in
+    assert (e land 1 = 1);
+    if Atomic.get Fault.enabled then Fault.delay fp_leave;
+    A.set c (e + 1)
+
+  let inside t = A.get (my_cell t) land 1 = 1
+
+  let barrier t =
+    if Atomic.get Fault.enabled then Fault.hit fp_barrier;
+    let self = Sim.domain_id () in
+    for i = 0 to Array.length t.epochs - 1 do
+      if i <> self then begin
+        let c = t.epochs.(i) in
+        let observed = A.get c in
+        if observed land 1 = 1 then
+          Sim.wait_until (fun () -> A.get c <> observed)
+      end
+    done
+
+  (* Single scan, no waiting: true iff no other domain is inside a
+     traversal right now. A grace period has then trivially elapsed for
+     everything retired before the call. The non-blocking form exists
+     because allocation-side code must never wait on another domain's pin:
+     a pinned domain may itself be waiting for *us* (multi-list
+     acquisitions in lib/shard grant locks in sequence, and a holder mid-
+     sequence can be what a pinned waiter blocks on), so a blocking barrier
+     inside the allocator closes a deadlock cycle. *)
+  let try_barrier t =
+    if Atomic.get Fault.enabled then Fault.hit fp_barrier;
+    let self = Sim.domain_id () in
+    let clean = ref true in
+    for i = 0 to Array.length t.epochs - 1 do
+      if i <> self && A.get t.epochs.(i) land 1 = 1 then clean := false
+    done;
+    !clean
+
+  let pin t f =
+    enter t;
+    match f () with
+    | v -> leave t; v
+    | exception e -> leave t; raise e
+end

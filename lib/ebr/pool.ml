@@ -1,126 +1,3 @@
-open Rlk_primitives
-module Fault = Rlk_chaos.Fault
-
-(* Deliberately-unsound point: skipping the barrier recycles nodes while
-   readers may still hold references — only fires when a chaos plan lists
-   it as unsound (torture's catch-a-real-bug self test). *)
-let fp_barrier_skip = Fault.point "ebr.barrier.skip"
-
-(* The two pools are array stacks, not lists: push and pop are plain
-   stores, so the steady-state recycle loop (get on every acquisition,
-   retire on every release) allocates nothing at all. Slots at or past the
-   length hold stale references to pooled nodes — never read before being
-   overwritten by a push, and bounded by the fixed capacity. *)
-type 'a local = {
-  mutable active : 'a array;
-  mutable alen : int;
-  mutable reclaimed : 'a array;
-  mutable rlen : int;
-  me : int; (* caches Domain_id.get: one TLS lookup per get/retire, not two *)
-}
-
-type 'a t = {
-  target : int;
-  capacity : int;
-  alloc : unit -> 'a;
-  ep : Epoch.t;
-  key : 'a local Domain.DLS.key;
-  fresh : Padded_counters.t;
-  recycled : Padded_counters.t;
-  barriers : Padded_counters.t;
-  trimmed : Padded_counters.t;
-}
-
-type stats = {
-  fresh_allocations : int;
-  recycled : int;
-  barriers : int;
-  trimmed : int;
-}
-
-let create ?(target = 128) ~alloc ep =
-  if target <= 0 then invalid_arg "Pool.create: target must be positive";
-  let capacity = 4 * target in
-  let key =
-    Domain.DLS.new_key (fun () ->
-        (* Slots [target, capacity) alias slot 0's node until a push
-           overwrites them; pops never reach past the length. *)
-        let active = Array.make capacity (alloc ()) in
-        for i = 1 to target - 1 do
-          active.(i) <- alloc ()
-        done;
-        { active; alen = target;
-          reclaimed = Array.make capacity active.(0); rlen = 0;
-          me = Domain_id.get () })
-  in
-  let slots = Domain_id.capacity in
-  { target; capacity; alloc; ep; key;
-    fresh = Padded_counters.create ~slots;
-    recycled = Padded_counters.create ~slots;
-    barriers = Padded_counters.create ~slots;
-    trimmed = Padded_counters.create ~slots }
-
-let epoch t = t.ep
-
-(* Swap pools after a grace period, then top the active pool back up to
-   [target] if it came back nearly empty. The grace-period check is the
-   *non-blocking* {!Epoch.try_barrier}: the allocator must never wait on a
-   pinned domain, because that domain may be blocked on a lock the caller
-   already holds (multi-list acquisition in lib/shard) — waiting here
-   closes a deadlock cycle. When the scan finds an active traversal the
-   swap is simply skipped; the caller falls back to fresh allocation and
-   the retired nodes wait for a later, quieter refill (the fixed capacity
-   bounds the backlog: overflowing retirees are dropped to the GC). *)
-let refill t local =
-  if Atomic.get Fault.enabled && Fault.skip fp_barrier_skip
-     || Epoch.try_barrier t.ep
-  then begin
-    let me = local.me in
-    Padded_counters.incr t.barriers me;
-    let a, alen = local.active, local.alen in
-    local.active <- local.reclaimed;
-    local.alen <- local.rlen;
-    local.reclaimed <- a;
-    local.rlen <- alen;
-    if local.alen < t.target / 2 then begin
-      let need = t.target - local.alen in
-      for i = local.alen to t.target - 1 do
-        local.active.(i) <- t.alloc ()
-      done;
-      local.alen <- t.target;
-      Padded_counters.add t.fresh me need
-    end
-  end
-
-let get t =
-  let local = Domain.DLS.get t.key in
-  if local.alen = 0 then refill t local;
-  if local.alen = 0 then begin
-    (* Reclaimed pool was empty too (or a traversal blocked the swap):
-       allocate fresh. *)
-    Padded_counters.incr t.fresh local.me;
-    t.alloc ()
-  end
-  else begin
-    let n = local.alen - 1 in
-    local.alen <- n;
-    Padded_counters.incr t.recycled local.me;
-    local.active.(n)
-  end
-
-let retire t node =
-  let local = Domain.DLS.get t.key in
-  if local.rlen = t.capacity then
-    (* Sustained pinning has blocked refills for a long while: hand the
-       overflow to the GC rather than grow without bound. *)
-    Padded_counters.incr t.trimmed local.me
-  else begin
-    local.reclaimed.(local.rlen) <- node;
-    local.rlen <- local.rlen + 1
-  end
-
-let stats t =
-  { fresh_allocations = Padded_counters.sum t.fresh;
-    recycled = Padded_counters.sum t.recycled;
-    barriers = Padded_counters.sum t.barriers;
-    trimmed = Padded_counters.sum t.trimmed }
+(* The production instance: Pool_core applied to the pass-through runtime
+   and the production Epoch (see pool_core.ml for the body). *)
+include Pool_core.Make (Rlk_primitives.Traced_atomic.Real) (Epoch)

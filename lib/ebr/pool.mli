@@ -18,6 +18,11 @@
 
 type 'a t
 
+type epoch = Epoch.t
+(** The epoch implementation this pool instance synchronizes with (matches
+    {!Pool_core.S}, so functors constrain it; here it is just
+    {!Epoch.t}). *)
+
 type stats = {
   fresh_allocations : int; (** nodes obtained from the [alloc] callback *)
   recycled : int;          (** nodes served from a pool *)

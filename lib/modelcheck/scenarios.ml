@@ -1,0 +1,355 @@
+(* Small, fixed configurations of the range-lock stack explored
+   exhaustively by {!Explore}.
+
+   Each scenario's [build] runs once per explored schedule: it
+   instantiates a *fresh* copy of the whole interleaving-critical stack —
+   epoch, pool, node, rwlock, fairness gate, list locks — over the
+   recording runtime ({!Sched.Sim}), so no state leaks between
+   executions and cell ids are assigned identically on every run.
+
+   Fibers record Acquired/Released/Failed events through a local
+   recorder (manual {!Rlk.History.event} values — the global [History]
+   armable log stays off) and the per-schedule invariant check feeds them
+   to the existing conformance oracle ({!Rlk_check.Oracle}): any overlap
+   between recorded holds, leaked span, or unmatched release fails the
+   schedule. Deadlock, livelock and fiber crashes are detected by the
+   scheduler itself.
+
+   Determinism rules for code reached inside a fiber: no wall clock
+   (every deadline is [max_int], so [Clock] is never consulted on an
+   explored path), no ambient randomness, no real domains. *)
+
+module H = Rlk.History
+module Oracle = Rlk_check.Oracle
+module Lockstat = Rlk_primitives.Lockstat
+
+let range lo hi = Rlk.Range.v ~lo ~hi
+
+(* The full functorized stack over the recording runtime. Generative: one
+   application = one isolated instance (its own epoch, pools, cells). *)
+module Stack
+    (Cfg : sig
+       val pool_target : int
+     end)
+    () =
+struct
+  module E = Rlk_ebr.Epoch_core.Make (Sched.Sim)
+  module P = Rlk_ebr.Pool_core.Make (Sched.Sim) (E)
+  module N = Rlk.Node_core.Make (Sched.Sim) (E) (P) (Cfg) ()
+  module RW = Rlk_primitives.Rwlock_core.Make (Sched.Sim)
+  module G = Rlk.Fairgate_core.Make (Sched.Sim) (RW)
+  module LM = Rlk.List_mutex_core.Make (Sched.Sim) (N) (G)
+  module LRW = Rlk.List_rw_core.Make (Sched.Sim) (N) (G)
+end
+
+(* ---- event recording ------------------------------------------------- *)
+
+type recorder = {
+  mutable seq : int;
+  mutable next_span : int;
+  mutable events : H.event list;  (* newest first *)
+  cell : int Sched.Sim.A.t;
+      (* Every push writes this shared cell *before* appending, making all
+         recording events mutually dependent steps. Without it the oracle's
+         verdict would hinge on the order of plain (unannounced) list
+         mutations, which sleep-set pruning is free to reorder — the
+         violating representative of an equivalence class could be pruned
+         in favour of a benign one. Announcing first pins each append to
+         the execution of its own dependent step, so the event order is
+         invariant across trace-equivalent schedules. *)
+}
+
+let recorder () =
+  { seq = 0; next_span = 0; events = []; cell = Sched.Sim.A.make 0 }
+
+let push r kind ~span ~lock ~mode ~lo ~hi =
+  Sched.Sim.A.set r.cell (r.seq + 1);
+  r.seq <- r.seq + 1;
+  r.events <-
+    { H.seq = r.seq; kind; span; lock; domain = Sched.current_fiber (); mode;
+      lo; hi; t_ns = 0 }
+    :: r.events
+
+let acquired r ~lock ~mode ~lo ~hi =
+  let span = r.next_span in
+  r.next_span <- span + 1;
+  push r H.Acquired ~span ~lock ~mode ~lo ~hi;
+  span
+
+let released r ~lock ~mode ~span ~lo ~hi =
+  push r H.Released ~span ~lock ~mode ~lo ~hi
+
+let failed r ~lock ~mode ~lo ~hi =
+  push r H.Failed ~span:(-1) ~lock ~mode ~lo ~hi
+
+let oracle_check r () =
+  let report = Oracle.check (List.rev r.events) in
+  if Oracle.ok report then None
+  else Some (Format.asprintf "%a" Oracle.pp_report report)
+
+(* ---- scenario table -------------------------------------------------- *)
+
+type t = {
+  scen : Explore.scenario;
+  bound : int;  (* preemption bound *)
+  max_steps : int;
+  full_only : bool;  (* run only under RLK_MODEL_FULL=1 (the @model alias) *)
+}
+
+let scenario ?(bound = 2) ?(max_steps = 20_000) ?(full_only = false) name
+    build =
+  { scen = { Explore.name; build }; bound; max_steps; full_only }
+
+(* Two overlapping exclusive writers: the core marked-pointer insert
+   protocol with no fast path. *)
+let mutex_overlap =
+  scenario "mutex-overlap" ~bound:3 (fun () ->
+      let module S = Stack (struct let pool_target = 4 end) () in
+      let lock = S.LM.create () in
+      let r = recorder () in
+      let body lo hi () =
+        let h = S.LM.acquire lock (range lo hi) in
+        let span = acquired r ~lock:"m" ~mode:Lockstat.Write ~lo ~hi in
+        Sched.note (Printf.sprintf "f holds [%d,%d)" lo hi);
+        Sched.pause ();
+        released r ~lock:"m" ~mode:Lockstat.Write ~span ~lo ~hi;
+        S.LM.release lock h
+      in
+      { Explore.fibers = [| body 0 2; body 1 3 |]; check = oracle_check r })
+
+(* Section 4.5: the single-CAS fast path racing a regular insertion that
+   must demote it (strip the head mark) before linking. *)
+let mutex_fastpath =
+  scenario "mutex-fastpath" ~bound:3 (fun () ->
+      let module S = Stack (struct let pool_target = 4 end) () in
+      let lock = S.LM.create ~fast_path:true () in
+      let r = recorder () in
+      let body lo hi () =
+        let h = S.LM.acquire lock (range lo hi) in
+        let span = acquired r ~lock:"m" ~mode:Lockstat.Write ~lo ~hi in
+        Sched.pause ();
+        released r ~lock:"m" ~mode:Lockstat.Write ~span ~lo ~hi;
+        S.LM.release lock h
+      in
+      { Explore.fibers = [| body 0 2; body 1 3 |]; check = oracle_check r })
+
+(* Non-blocking try_acquire racing a holder: either outcome is legal, but
+   a [Some] grant must never overlap and a [None] must record Failed. *)
+let mutex_try =
+  scenario "mutex-try" ~bound:3 (fun () ->
+      let module S = Stack (struct let pool_target = 4 end) () in
+      let lock = S.LM.create () in
+      let r = recorder () in
+      let holder () =
+        let h = S.LM.acquire lock (range 0 2) in
+        let span = acquired r ~lock:"m" ~mode:Lockstat.Write ~lo:0 ~hi:2 in
+        Sched.pause ();
+        released r ~lock:"m" ~mode:Lockstat.Write ~span ~lo:0 ~hi:2;
+        S.LM.release lock h
+      in
+      let trier () =
+        match S.LM.try_acquire lock (range 1 3) with
+        | Some h ->
+          let span = acquired r ~lock:"m" ~mode:Lockstat.Write ~lo:1 ~hi:3 in
+          released r ~lock:"m" ~mode:Lockstat.Write ~span ~lo:1 ~hi:3;
+          S.LM.release lock h
+        | None -> failed r ~lock:"m" ~mode:Lockstat.Write ~lo:1 ~hi:3
+      in
+      { Explore.fibers = [| holder; trier |]; check = oracle_check r })
+
+(* Three overlapping writers: transitive blocking through two list nodes
+   (full mode: ~8x the state space of the 2-fiber variants). *)
+let mutex_3dom =
+  scenario "mutex-3dom" ~bound:2 ~full_only:true (fun () ->
+      let module S = Stack (struct let pool_target = 4 end) () in
+      let lock = S.LM.create () in
+      let r = recorder () in
+      let body lo hi () =
+        let h = S.LM.acquire lock (range lo hi) in
+        let span = acquired r ~lock:"m" ~mode:Lockstat.Write ~lo ~hi in
+        Sched.pause ();
+        released r ~lock:"m" ~mode:Lockstat.Write ~span ~lo ~hi;
+        S.LM.release lock h
+      in
+      { Explore.fibers = [| body 0 2; body 1 3; body 2 4 |];
+        check = oracle_check r })
+
+(* The insert/validate race at the heart of Section 4.2: a pre-linked
+   reader H = [1,2) forces both fibers into real list traversals. The
+   interesting interleaving: the writer picks its insertion point after
+   H, the reader then links at the head (before H) and grants itself via
+   r_validate without seeing the writer; only the writer's w_validate
+   rescan from the head repairs the race. Skipping w_validate (the
+   mutation self-test arms [list_rw.w_validate.skip]) makes this scenario
+   produce an overlap counterexample. *)
+let rw_validate_race_build () =
+  let module S = Stack (struct let pool_target = 4 end) () in
+  let lock = S.LRW.create () in
+  (* Structural holder: linked before the fibers start, released by
+     neither; shapes the list so both fibers traverse. Not recorded. *)
+  let _pre = S.LRW.read_acquire lock (range 1 2) in
+  let r = recorder () in
+  let reader () =
+    let h = S.LRW.read_acquire lock (range 0 4) in
+    let span = acquired r ~lock:"rw" ~mode:Lockstat.Read ~lo:0 ~hi:4 in
+    Sched.note "reader holds [0,4)";
+    Sched.pause ();
+    released r ~lock:"rw" ~mode:Lockstat.Read ~span ~lo:0 ~hi:4;
+    S.LRW.release lock h
+  in
+  let writer () =
+    let h = S.LRW.write_acquire lock (range 3 5) in
+    let span = acquired r ~lock:"rw" ~mode:Lockstat.Write ~lo:3 ~hi:5 in
+    Sched.note "writer holds [3,5)";
+    Sched.pause ();
+    released r ~lock:"rw" ~mode:Lockstat.Write ~span ~lo:3 ~hi:5;
+    S.LRW.release lock h
+  in
+  { Explore.fibers = [| reader; writer |]; check = oracle_check r }
+
+let rw_validate_race =
+  scenario "rw-validate-race" ~bound:3 (fun () -> rw_validate_race_build ())
+
+(* Reversed preference (Section 4.2's last remark): the reader defers to
+   overlapping writers by self-aborting its validation. A *blocking*
+   reader under writer preference can starve — it reinserts at the head
+   and re-fails validation for as long as the writer holds, which the
+   explorer would (correctly) flag as a livelock under an unfair
+   schedule — so the reader here is a non-blocking trier: both outcomes
+   are legal and every schedule terminates. *)
+let rw_writer_pref =
+  scenario "rw-writer-pref" ~bound:3 ~full_only:true (fun () ->
+      let module S = Stack (struct let pool_target = 4 end) () in
+      let lock =
+        S.LRW.create ~prefer:Rlk.List_rw_core.Prefer_writers ()
+      in
+      let _pre = S.LRW.read_acquire lock (range 1 2) in
+      let r = recorder () in
+      let reader () =
+        match S.LRW.try_read_acquire lock (range 0 4) with
+        | Some h ->
+          let span = acquired r ~lock:"rw" ~mode:Lockstat.Read ~lo:0 ~hi:4 in
+          Sched.pause ();
+          released r ~lock:"rw" ~mode:Lockstat.Read ~span ~lo:0 ~hi:4;
+          S.LRW.release lock h
+        | None -> failed r ~lock:"rw" ~mode:Lockstat.Read ~lo:0 ~hi:4
+      in
+      let writer () =
+        let h = S.LRW.write_acquire lock (range 3 5) in
+        let span = acquired r ~lock:"rw" ~mode:Lockstat.Write ~lo:3 ~hi:5 in
+        Sched.pause ();
+        released r ~lock:"rw" ~mode:Lockstat.Write ~span ~lo:3 ~hi:5;
+        S.LRW.release lock h
+      in
+      { Explore.fibers = [| reader; writer |]; check = oracle_check r })
+
+(* Reader-writer fast path: a reader's single-CAS claim demoted by a
+   conflicting writer insertion. *)
+let rw_fastpath =
+  scenario "rw-fastpath" ~bound:3 (fun () ->
+      let module S = Stack (struct let pool_target = 4 end) () in
+      let lock = S.LRW.create ~fast_path:true () in
+      let r = recorder () in
+      let reader () =
+        let h = S.LRW.read_acquire lock (range 0 2) in
+        let span = acquired r ~lock:"rw" ~mode:Lockstat.Read ~lo:0 ~hi:2 in
+        Sched.pause ();
+        released r ~lock:"rw" ~mode:Lockstat.Read ~span ~lo:0 ~hi:2;
+        S.LRW.release lock h
+      in
+      let writer () =
+        let h = S.LRW.write_acquire lock (range 1 3) in
+        let span = acquired r ~lock:"rw" ~mode:Lockstat.Write ~lo:1 ~hi:3 in
+        Sched.pause ();
+        released r ~lock:"rw" ~mode:Lockstat.Write ~span ~lo:1 ~hi:3;
+        S.LRW.release lock h
+      in
+      { Explore.fibers = [| reader; writer |]; check = oracle_check r })
+
+(* Node recycling under a starved pool (target 1): a fiber that drains
+   its pool forces refill's epoch try_barrier to race the other fiber's
+   traversal — the grace-period protocol of Section 4.4. *)
+let ebr_recycle =
+  scenario "ebr-recycle" ~bound:2 ~full_only:true (fun () ->
+      let module S = Stack (struct let pool_target = 1 end) () in
+      let lock = S.LM.create () in
+      let r = recorder () in
+      let churner () =
+        let h1 = S.LM.acquire lock (range 0 1) in
+        let s1 = acquired r ~lock:"m" ~mode:Lockstat.Write ~lo:0 ~hi:1 in
+        let h2 = S.LM.acquire lock (range 2 3) in
+        let s2 = acquired r ~lock:"m" ~mode:Lockstat.Write ~lo:2 ~hi:3 in
+        released r ~lock:"m" ~mode:Lockstat.Write ~span:s1 ~lo:0 ~hi:1;
+        S.LM.release lock h1;
+        released r ~lock:"m" ~mode:Lockstat.Write ~span:s2 ~lo:2 ~hi:3;
+        S.LM.release lock h2
+      in
+      let contender () =
+        let h = S.LM.acquire lock (range 0 1) in
+        let span = acquired r ~lock:"m" ~mode:Lockstat.Write ~lo:0 ~hi:1 in
+        released r ~lock:"m" ~mode:Lockstat.Write ~span ~lo:0 ~hi:1;
+        S.LM.release lock h
+      in
+      { Explore.fibers = [| churner; contender |]; check = oracle_check r })
+
+(* Fairness escalation with patience 1: the writer's first validation
+   failure sends it through Fairgate.escalate (impatient counter + aux
+   rwlock write side) while the reader holds. *)
+let fairgate_escalate =
+  scenario "fairgate-escalate" ~bound:2 (fun () ->
+      let module S = Stack (struct let pool_target = 4 end) () in
+      let lock = S.LRW.create ~fairness:1 () in
+      let _pre = S.LRW.read_acquire lock (range 1 2) in
+      let r = recorder () in
+      let reader () =
+        let h = S.LRW.read_acquire lock (range 0 4) in
+        let span = acquired r ~lock:"rw" ~mode:Lockstat.Read ~lo:0 ~hi:4 in
+        Sched.pause ();
+        released r ~lock:"rw" ~mode:Lockstat.Read ~span ~lo:0 ~hi:4;
+        S.LRW.release lock h
+      in
+      let writer () =
+        let h = S.LRW.write_acquire lock (range 3 5) in
+        let span = acquired r ~lock:"rw" ~mode:Lockstat.Write ~lo:3 ~hi:5 in
+        Sched.pause ();
+        released r ~lock:"rw" ~mode:Lockstat.Write ~span ~lo:3 ~hi:5;
+        S.LRW.release lock h
+      in
+      { Explore.fibers = [| reader; writer |]; check = oracle_check r })
+
+(* The bare auxiliary rwlock (writer preference): 2 readers + 1 writer on
+   a unit range — cheap, and the deepest wait_until user in the stack. *)
+let rwlock_basic =
+  scenario "rwlock-basic" ~bound:2 (fun () ->
+      let module RW = Rlk_primitives.Rwlock_core.Make (Sched.Sim) in
+      let rw = RW.create () in
+      let r = recorder () in
+      let reader () =
+        RW.read_acquire rw;
+        let span = acquired r ~lock:"rwl" ~mode:Lockstat.Read ~lo:0 ~hi:1 in
+        Sched.pause ();
+        released r ~lock:"rwl" ~mode:Lockstat.Read ~span ~lo:0 ~hi:1;
+        RW.read_release rw
+      in
+      let writer () =
+        RW.write_acquire rw;
+        let span = acquired r ~lock:"rwl" ~mode:Lockstat.Write ~lo:0 ~hi:1 in
+        Sched.pause ();
+        released r ~lock:"rwl" ~mode:Lockstat.Write ~span ~lo:0 ~hi:1;
+        RW.write_release rw
+      in
+      { Explore.fibers = [| reader; writer; reader |];
+        check = oracle_check r })
+
+let all =
+  [ mutex_overlap; mutex_fastpath; mutex_try; mutex_3dom; rw_validate_race;
+    rw_writer_pref; rw_fastpath; ebr_recycle; fairgate_escalate;
+    rwlock_basic ]
+
+(* The scenario the mutation self-test arms [list_rw.w_validate.skip]
+   against: with the skip armed the explorer must produce an overlap
+   counterexample here; with real code it must report zero violations. *)
+let mutation_target = rw_validate_race
+
+let run t =
+  Explore.explore ~bound:t.bound ~max_steps:t.max_steps t.scen

@@ -1,77 +1,4 @@
-(* state >= 0: number of active readers; state = -1: write-locked.
-   writers_waiting > 0 blocks new readers, giving writers preference. *)
-type t = {
-  state : int Atomic.t;
-  writers_waiting : int Atomic.t;
-  stats : Lockstat.t option;
-}
-
-let create ?stats () =
-  { state = Atomic.make 0; writers_waiting = Atomic.make 0; stats }
-
-let try_read_acquire t =
-  Atomic.get t.writers_waiting = 0
-  &&
-  let s = Atomic.get t.state in
-  s >= 0 && Atomic.compare_and_set t.state s (s + 1)
-
-let read_acquire t =
-  if try_read_acquire t then begin
-    match t.stats with
-    | None -> ()
-    | Some s -> Lockstat.add s Lockstat.Read 0
-  end
-  else begin
-    let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in
-    let b = Backoff.create () in
-    while not (try_read_acquire t) do
-      Backoff.once b
-    done;
-    match t.stats with
-    | None -> ()
-    | Some s -> Lockstat.add s Lockstat.Read (Clock.now_ns () - t0)
-  end
-
-let read_release t =
-  let prev = Atomic.fetch_and_add t.state (-1) in
-  assert (prev > 0)
-
-let try_write_acquire t = Atomic.compare_and_set t.state 0 (-1)
-
-let write_acquire t =
-  ignore (Atomic.fetch_and_add t.writers_waiting 1);
-  if Atomic.compare_and_set t.state 0 (-1) then begin
-    ignore (Atomic.fetch_and_add t.writers_waiting (-1));
-    match t.stats with
-    | None -> ()
-    | Some s -> Lockstat.add s Lockstat.Write 0
-  end
-  else begin
-    let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in
-    let b = Backoff.create () in
-    while not (Atomic.compare_and_set t.state 0 (-1)) do
-      Backoff.once b
-    done;
-    ignore (Atomic.fetch_and_add t.writers_waiting (-1));
-    match t.stats with
-    | None -> ()
-    | Some s -> Lockstat.add s Lockstat.Write (Clock.now_ns () - t0)
-  end
-
-let write_release t =
-  let swapped = Atomic.compare_and_set t.state (-1) 0 in
-  assert swapped
-
-let with_read t f =
-  read_acquire t;
-  match f () with
-  | v -> read_release t; v
-  | exception e -> read_release t; raise e
-
-let with_write t f =
-  write_acquire t;
-  match f () with
-  | v -> write_release t; v
-  | exception e -> write_release t; raise e
-
-let readers t = Atomic.get t.state
+(* The production instance: Rwlock_core applied to the pass-through
+   runtime. See rwlock_core.ml for the body and traced_atomic.ml for the
+   functorization rationale. *)
+include Rwlock_core.Make (Traced_atomic.Real)

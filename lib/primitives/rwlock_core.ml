@@ -1,0 +1,98 @@
+(* Functorized body of {!Rwlock}: see rwlock.mli for the semantics and
+   traced_atomic.ml for why the interleaving-critical primitives are
+   functorized over SIM. [Rwlock] is this functor applied to
+   {!Traced_atomic.Real}; the model checker applies it to its recording
+   runtime to explore the fairness gate's escalation protocol. *)
+
+(* The subset of {!Rwlock}'s interface consumed by functorized users
+   (Fairgate_core); the concrete instances additionally expose the try/
+   with/readers helpers. *)
+module type S = sig
+  type t
+
+  val create : ?stats:Lockstat.t -> unit -> t
+
+  val read_acquire : t -> unit
+
+  val read_release : t -> unit
+
+  val write_acquire : t -> unit
+
+  val write_release : t -> unit
+end
+
+module Make (Sim : Traced_atomic.SIM) = struct
+  module A = Sim.A
+
+  (* state >= 0: number of active readers; state = -1: write-locked.
+     writers_waiting > 0 blocks new readers, giving writers preference. *)
+  type t = {
+    state : int A.t;
+    writers_waiting : int A.t;
+    stats : Lockstat.t option;
+  }
+
+  let create ?stats () =
+    { state = A.make 0; writers_waiting = A.make 0; stats }
+
+  let try_read_acquire t =
+    A.get t.writers_waiting = 0
+    &&
+    let s = A.get t.state in
+    s >= 0 && A.compare_and_set t.state s (s + 1)
+
+  let read_acquire t =
+    if try_read_acquire t then begin
+      match t.stats with
+      | None -> ()
+      | Some s -> Lockstat.add s Lockstat.Read 0
+    end
+    else begin
+      let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in
+      Sim.wait_until (fun () -> try_read_acquire t);
+      match t.stats with
+      | None -> ()
+      | Some s -> Lockstat.add s Lockstat.Read (Clock.now_ns () - t0)
+    end
+
+  let read_release t =
+    let prev = A.fetch_and_add t.state (-1) in
+    assert (prev > 0)
+
+  let try_write_acquire t = A.compare_and_set t.state 0 (-1)
+
+  let write_acquire t =
+    ignore (A.fetch_and_add t.writers_waiting 1);
+    if A.compare_and_set t.state 0 (-1) then begin
+      ignore (A.fetch_and_add t.writers_waiting (-1));
+      match t.stats with
+      | None -> ()
+      | Some s -> Lockstat.add s Lockstat.Write 0
+    end
+    else begin
+      let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in
+      Sim.wait_until (fun () -> A.compare_and_set t.state 0 (-1));
+      ignore (A.fetch_and_add t.writers_waiting (-1));
+      match t.stats with
+      | None -> ()
+      | Some s -> Lockstat.add s Lockstat.Write (Clock.now_ns () - t0)
+    end
+
+  let write_release t =
+    let swapped = A.compare_and_set t.state (-1) 0 in
+    assert swapped
+
+  let with_read t f =
+    read_acquire t;
+    match f () with
+    | v -> read_release t; v
+    | exception e -> read_release t; raise e
+
+  let with_write t f =
+    write_acquire t;
+    match f () with
+    | v -> write_release t; v
+    | exception e -> write_release t; raise e
+
+  let readers t = A.get t.state
+end

@@ -2,10 +2,22 @@ module Range = Rlk.Range
 
 type t = { shards : int; width : int; space : int; shift : int }
 
+(* Validate loudly at construction: every other entry point divides or
+   shifts by [width], so a bad geometry admitted here would surface as a
+   wrong-shard route (silent lost exclusion), not an exception. *)
 let create ~shards ~space =
-  if shards <= 0 then invalid_arg "Router.create: shards must be positive";
-  if space < shards || space mod shards <> 0 then
-    invalid_arg "Router.create: space must be a positive multiple of shards";
+  if shards <= 0 then
+    invalid_arg
+      (Printf.sprintf "Router.create: shards must be positive (got %d)"
+         shards);
+  if space <= 0 then
+    invalid_arg
+      (Printf.sprintf "Router.create: space must be positive (got %d)" space);
+  if space mod shards <> 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Router.create: space (%d) must be a multiple of shards (%d)" space
+         shards);
   let width = space / shards in
   (* Power-of-two widths route with a shift instead of a division — the
      router sits on every acquisition's critical path. *)

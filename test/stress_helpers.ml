@@ -18,6 +18,17 @@ let base_seed =
 
 let domain_seed ~salt id = (base_seed * 0x9E3779B1) + (id * salt) + 3
 
+(* Printed once per test executable that links this module: a failing run
+   can always be replayed by exporting the seed it announced. *)
+let () =
+  Printf.printf "stress seed: %d (override with RLK_SEED)\n%!" base_seed
+
+(* Deterministic PRNG state for qcheck suites, derived from the same
+   seed. Passing this to [QCheck_alcotest.to_alcotest ~rand] replaces
+   qcheck's per-run random seed, so property failures replay with
+   RLK_SEED alone. *)
+let qcheck_rand () = Random.State.make [| base_seed |]
+
 let report_violation name =
   Printf.eprintf "%s: exclusion violated; replay with RLK_SEED=%d\n%!" name
     base_seed

@@ -343,7 +343,7 @@ let prop_iter_overlaps_sorted_and_exact =
       in
       List.sort compare visited = List.sort compare expect && sorted visited)
 
-let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false ~rand:(Stress_helpers.qcheck_rand ())) tests)
 
 let () =
   Alcotest.run "rbtree"

@@ -60,6 +60,56 @@ let prop_point_routing =
       let s = Router.shard_of_point t x in
       s >= 0 && s < shards && Range.contains (Router.span t s) x)
 
+(* ---------------- Router construction and boundaries ---------------- *)
+
+let test_create_validation () =
+  let rejects name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s must be rejected" name
+  in
+  rejects "zero shards" (fun () -> Router.create ~shards:0 ~space:64);
+  rejects "negative shards" (fun () -> Router.create ~shards:(-4) ~space:64);
+  rejects "zero space" (fun () -> Router.create ~shards:4 ~space:0);
+  rejects "negative space" (fun () -> Router.create ~shards:4 ~space:(-64));
+  rejects "space not a multiple of shards" (fun () ->
+      Router.create ~shards:4 ~space:63);
+  (* Non-power-of-two geometries are legal — they take the division route
+     instead of the shift. *)
+  let t = Router.create ~shards:3 ~space:21 in
+  Alcotest.(check int) "odd width" 7 (Router.width t);
+  Alcotest.(check int) "odd-width routing" 2 (Router.shard_of_point t 20)
+
+let test_boundary_at_space () =
+  let shards = 4 and space = 64 in
+  let t = Router.create ~shards ~space in
+  (* A range ending exactly at [space] stays inside the declared universe:
+     its cover ends at the last shard and tiles to exactly [space]. *)
+  let cover = Router.cover t (range 0 space) in
+  Alcotest.(check int) "full range covers all shards" shards
+    (List.length cover);
+  (match List.rev cover with
+   | (i, sub) :: _ ->
+     Alcotest.(check int) "last shard index" (shards - 1) i;
+     Alcotest.(check int) "last piece ends at space" space (Range.hi sub)
+   | [] -> Alcotest.fail "empty cover");
+  (* Final in-space point and the width-1 range ending exactly at [space]
+     both route to the last shard, exercising the lsr fast path's min
+     clamp. *)
+  Alcotest.(check int) "space - 1 routes to last shard" (shards - 1)
+    (Router.shard_of_point t (space - 1));
+  let first, last = Router.first_last t (range (space - 1) space) in
+  Alcotest.(check (pair int int)) "tail sliver first_last"
+    (shards - 1, shards - 1) (first, last);
+  (* Same boundary on a non-power-of-two width (division route). *)
+  let t = Router.create ~shards:3 ~space:21 in
+  let first, last = Router.first_last t (range 20 21) in
+  Alcotest.(check (pair int int)) "odd-width tail sliver" (2, 2)
+    (first, last);
+  let cover = Router.cover t (range 6 21) in
+  Alcotest.(check int) "odd-width cover spans shards 0-2" 3
+    (List.length cover)
+
 (* ---------------- Single-geometry fixture ---------------- *)
 
 (* 8 shards of width 32 over [0, 256): the benchmark geometry. wide_span
@@ -178,11 +228,16 @@ let test_multi_domain_exclusion () =
   | Error msg -> Alcotest.fail msg
 
 let qsuite name tests =
-  (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+  (name, List.map (QCheck_alcotest.to_alcotest ~long:false ~rand:(Stress_helpers.qcheck_rand ())) tests)
 
 let () =
   Alcotest.run "shard"
     [ qsuite "router" [ prop_cover_exact; prop_point_routing ];
+      ( "router-edges",
+        [ Alcotest.test_case "create validation" `Quick
+            test_create_validation;
+          Alcotest.test_case "ranges ending exactly at space" `Quick
+            test_boundary_at_space ] );
       ( "shard-rw",
         [ Alcotest.test_case "boundary precision" `Quick
             test_boundary_precision;

@@ -1,0 +1,167 @@
+(* Timed-acquisition edge cases, run against every RW instance the
+   workload registry exposes — both the native deadline implementations
+   (list-based mark-and-retreat, sharded unwind) and everything derived
+   through {!Rlk.Intf.Mutex_timed}/{!Rlk.Intf.Rw_timed} polling.
+
+   Edge cases per ISSUE 4: a deadline already in the past, a deadline
+   equal to now, and a cancellation racing the grant (seeded via
+   RLK_SEED). The shared semantics under test: one acquisition attempt is
+   always made (so an uncontended lock grants even with an expired
+   deadline), an expired deadline under conflict returns [None] in
+   bounded time, and a [None] leaves no residual state behind.
+
+   Conflicting holders and exclusion probes live on their own domains:
+   several baselines (slots, gpfs) reject same-domain reentrancy by
+   design, and cross-domain is the only configuration all instances
+   share. Cleanliness after a timed retreat is probed with a *blocking*
+   acquire — gpfs's [try_acquire] never revokes a remotely cached token,
+   so a try can legally fail on a free lock. *)
+
+module Range = Rlk.Range
+module Clock = Rlk_primitives.Clock
+module Prng = Rlk_primitives.Prng
+module Locks = Rlk_workloads.Locks
+
+let range lo hi = Range.v ~lo ~hi
+
+let impls : (string * Rlk.Intf.rw_impl) list =
+  Locks.arrbench_locks
+  @ [ ("list-ex+fast", Locks.list_mutex_fast_path_impl);
+      ("list-rw+fair", Locks.list_rw_fair_impl);
+      ("list-rw+wpref", Locks.list_rw_writer_pref_impl);
+      ("kernel-rw+ticket", Locks.kernel_rw_ticket_impl);
+      ("slots", Locks.slots_mutex_impl);
+      ("vee-rw", Locks.vee_rw_impl);
+      ("gpfs", Locks.gpfs_tokens_impl) ]
+
+let past_deadline () = Clock.now_ns () - 1_000_000_000
+
+let make_cases name (module L : Rlk.Intf.RW) =
+  (* Cross-domain probe: is [r] exclusively held right now? *)
+  let excluded l r =
+    Domain.join (Domain.spawn (fun () -> L.try_write_acquire l r = None))
+  in
+  (* Blocking cross-domain round trip: the lock must still be fully
+     acquirable (and releasable) after whatever the test did to it. *)
+  let assert_clean l r =
+    let ok =
+      Domain.join
+        (Domain.spawn (fun () ->
+             let h = L.write_acquire l r in
+             L.release l h;
+             true))
+    in
+    if not ok then Alcotest.failf "%s: lock not clean" name
+  in
+  (* Run [f] while another domain holds an exclusive write on [r]. *)
+  let with_remote_holder l r f =
+    let held = Atomic.make false and release = Atomic.make false in
+    let d =
+      Domain.spawn (fun () ->
+          let h = L.write_acquire l r in
+          Atomic.set held true;
+          while not (Atomic.get release) do Domain.cpu_relax () done;
+          L.release l h)
+    in
+    while not (Atomic.get held) do Domain.cpu_relax () done;
+    let v =
+      try f ()
+      with e ->
+        Atomic.set release true;
+        Domain.join d;
+        raise e
+    in
+    Atomic.set release true;
+    Domain.join d;
+    v
+  in
+  (* Expired deadline, uncontended lock: the single mandatory attempt
+     still grants, and the grant is a real cross-domain hold. *)
+  let past_deadline_free () =
+    let l = L.create () in
+    (match
+       L.write_acquire_opt l ~deadline_ns:(past_deadline ()) (range 0 8)
+     with
+    | Some h ->
+      Alcotest.(check bool) "grant is a real hold" true
+        (excluded l (range 0 8));
+      L.release l h
+    | None -> Alcotest.fail "free lock must grant despite an expired deadline");
+    match
+      L.read_acquire_opt l ~deadline_ns:(past_deadline ()) (range 0 8)
+    with
+    | Some h -> L.release l h
+    | None ->
+      Alcotest.fail "free lock must read-grant despite expired deadline"
+  in
+  (* Expired deadline under a conflicting (remote) holder: both modes
+     give up, and the failed attempts leave no residual state. *)
+  let past_deadline_conflict () =
+    let l = L.create () in
+    with_remote_holder l (range 0 8) (fun () ->
+        Alcotest.(check bool) "write vs writer" true
+          (L.write_acquire_opt l ~deadline_ns:(past_deadline ()) (range 4 12)
+          = None);
+        Alcotest.(check bool) "read vs writer" true
+          (L.read_acquire_opt l ~deadline_ns:(past_deadline ()) (range 4 12)
+          = None));
+    assert_clean l (range 4 12)
+  in
+  (* Deadline equal to now: indistinguishable from "already expired" by
+     the time the wait starts; must return None in bounded time, not
+     hang. *)
+  let deadline_now () =
+    let l = L.create () in
+    with_remote_holder l (range 0 8) (fun () ->
+        Alcotest.(check bool) "deadline == now under conflict" true
+          (L.write_acquire_opt l ~deadline_ns:(Clock.now_ns ()) (range 0 8)
+          = None));
+    assert_clean l (range 0 8)
+  in
+  (* Cancellation racing the grant: a holder releases after a short
+     seeded delay while we acquire with a deadline in the same window.
+     Either outcome is legal; the invariant is that a [Some] is a real
+     exclusive hold and a [None] leaves the lock immediately
+     reacquirable. *)
+  let cancel_races_grant () =
+    let rng = Prng.create ~seed:(Stress_helpers.domain_seed ~salt:7919 1) in
+    let iters = 8 in
+    let grants = ref 0 and timeouts = ref 0 in
+    for _ = 1 to iters do
+      let l = L.create () in
+      let held = Atomic.make false in
+      let hold_ns = 20_000 + Prng.below rng 180_000 in
+      let holder =
+        Domain.spawn (fun () ->
+            let h = L.write_acquire l (range 0 8) in
+            Atomic.set held true;
+            let t0 = Clock.now_ns () in
+            while Clock.now_ns () - t0 < hold_ns do Domain.cpu_relax () done;
+            L.release l h)
+      in
+      while not (Atomic.get held) do Domain.cpu_relax () done;
+      let deadline_ns = Clock.now_ns () + 10_000 + Prng.below rng 250_000 in
+      (match L.write_acquire_opt l ~deadline_ns (range 0 8) with
+      | Some h ->
+        incr grants;
+        Alcotest.(check bool) "grant excludes" true (excluded l (range 0 8));
+        L.release l h
+      | None -> incr timeouts);
+      Domain.join holder;
+      (* Whatever the race outcome, the lock must be clean afterwards. *)
+      assert_clean l (range 0 8)
+    done;
+    Printf.printf "%s: %d grants, %d timeouts (seed %d)\n%!" name !grants
+      !timeouts Stress_helpers.base_seed
+  in
+  ( name,
+    [ Alcotest.test_case "past deadline, free lock" `Quick past_deadline_free;
+      Alcotest.test_case "past deadline, conflicting holder" `Quick
+        past_deadline_conflict;
+      Alcotest.test_case "deadline equal to now" `Quick deadline_now;
+      Alcotest.test_case "cancellation races grant" `Quick cancel_races_grant
+    ] )
+
+let () =
+  Alcotest.run "timed"
+    (List.map (fun (name, impl) -> make_cases name impl) impls)

@@ -837,7 +837,7 @@ let vm_stress variant () =
   check_mm (Sync.mm sync);
   Alcotest.(check int) "all arenas unmapped" 0 (Mm.vma_count (Sync.mm sync))
 
-let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false ~rand:(Stress_helpers.qcheck_rand ())) tests)
 
 let () =
   Alcotest.run "vm"

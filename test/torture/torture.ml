@@ -375,7 +375,16 @@ let run seconds seed chaos inject_bug =
   Runner.init ();
   let seed =
     if seed <> 0 then seed
-    else int_of_float (Unix.gettimeofday () *. 1e6) land 0xFFFFFF lor 1
+    else
+      (* Same knob as the alcotest suites (stress_helpers): an explicit
+         RLK_SEED beats the wall clock, so CI reruns are reproducible
+         without threading --seed through every wrapper. *)
+      match Sys.getenv_opt "RLK_SEED" with
+      | Some s when (match int_of_string_opt (String.trim s) with
+                     | Some n -> n <> 0
+                     | None -> false) ->
+        int_of_string (String.trim s)
+      | _ -> int_of_float (Unix.gettimeofday () *. 1e6) land 0xFFFFFF lor 1
   in
   say "torture: seed %d%s (replay: --seed %d%s)" seed
     (if chaos then " [chaos]" else "")
