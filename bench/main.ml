@@ -738,6 +738,66 @@ let verify cfg =
   end
   else say "verify: all locks clean (no overlap violations, no residue)"
 
+(* ---------------- CI perf gate (--gate) ---------------- *)
+
+let gate_path : string option ref = ref None
+
+(* Minimal field extraction from the flat JSON documents this harness
+   writes (BENCH_pr*.json): find the quoted key, skip the colon, parse
+   the number. No JSON dependency. *)
+let json_number_field content key =
+  let quoted = Printf.sprintf "%S" key in
+  let n = String.length content and m = String.length quoted in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub content i m = quoted then Some (i + m)
+    else find (i + 1)
+  in
+  Option.bind (find 0) (fun i ->
+      match String.index_from_opt content i ':' with
+      | None -> None
+      | Some j ->
+        let k = ref (j + 1) in
+        while !k < n && content.[!k] = ' ' do incr k done;
+        let e = ref !k in
+        let num c =
+          (c >= '0' && c <= '9')
+          || c = '.' || c = '-' || c = '+' || c = 'e' || c = 'E'
+        in
+        while !e < n && num content.[!e] do incr e done;
+        float_of_string_opt (String.sub content !k (!e - !k)))
+
+(* Fail the run if any measured shard/list ratio regresses more than 15%
+   below the committed baseline (BENCH_pr3.json). Paired median ratios
+   are used on both sides precisely so this gate survives noisy CI
+   hosts: common-mode throughput swings cancel out of the ratio. The
+   uncontended disjoint cell is reported but not gated — its ratio is
+   dominated by allocator placement, not by lock-path changes. *)
+let gate ~baseline measured =
+  let content =
+    let ic = open_in baseline in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let failed = ref false in
+  List.iter
+    (fun (key, current) ->
+       match json_number_field content key with
+       | None -> say "   gate: %s not found in %s, skipped" key baseline
+       | Some base ->
+         let floor = 0.85 *. base in
+         let ok = current >= floor in
+         if not ok then failed := true;
+         say "   gate: %s %.3f vs baseline %.3f (floor %.3f): %s" key current
+           base floor
+           (if ok then "ok" else "REGRESSED"))
+    measured;
+  if !failed then begin
+    say "   perf gate failed against %s" baseline;
+    exit 1
+  end
+
 (* ---------------- Smoke pass (--smoke) ---------------- *)
 
 (* CI-sized pass: the three ArrBench cells that bracket the sharded
@@ -747,7 +807,9 @@ let verify cfg =
    shard/list ratios are written out (the BENCH_pr3.json artifact). *)
 let smoke cfg =
   let pick n = (n, List.assoc n Locks.arrbench_locks) in
-  let locks = [ pick "list-rw"; pick "pnova-rw"; pick "shard-rw" ] in
+  let locks =
+    [ pick "list-rw"; pick "list-rw-spin"; pick "pnova-rw"; pick "shard-rw" ]
+  in
   let cells =
     [ (Arrbench.Disjoint, 100); (Arrbench.Full, 100); (Arrbench.Random, 60) ]
   in
@@ -773,6 +835,7 @@ let smoke cfg =
       List.nth sorted (n / 2)
   in
   let ratios = Hashtbl.create 8 in
+  let pratios = Hashtbl.create 8 in
   let results =
     List.concat_map
       (fun (variant, read_pct) ->
@@ -799,10 +862,17 @@ let smoke cfg =
            let sh =
              Option.value ~default:0. (Hashtbl.find_opt round "shard-rw")
            in
+           let spin =
+             Option.value ~default:0. (Hashtbl.find_opt round "list-rw-spin")
+           in
            if l > 0. then
              Hashtbl.replace ratios bench
                (sh /. l
-                :: Option.value ~default:[] (Hashtbl.find_opt ratios bench))
+                :: Option.value ~default:[] (Hashtbl.find_opt ratios bench));
+           if spin > 0. then
+             Hashtbl.replace pratios bench
+               (l /. spin
+                :: Option.value ~default:[] (Hashtbl.find_opt pratios bench))
          done;
          List.map
            (fun (name, _) ->
@@ -815,10 +885,17 @@ let smoke cfg =
   let ratio bench =
     median (Option.value ~default:[] (Hashtbl.find_opt ratios bench))
   in
+  let pratio bench =
+    median (Option.value ~default:[] (Hashtbl.find_opt pratios bench))
+  in
   say
     "   shard-rw/list-rw (median paired ratio): disjoint/100 %.2fx, full/100 \
      %.2fx, random/60 %.2fx"
     (ratio "disjoint/100") (ratio "full/100") (ratio "random/60");
+  say
+    "   list-rw park/spin (median paired ratio): disjoint/100 %.2fx, \
+     full/100 %.2fx, random/60 %.2fx"
+    (pratio "disjoint/100") (pratio "full/100") (pratio "random/60");
   (match !json_path with
    | None -> ()
    | Some path ->
@@ -837,11 +914,14 @@ let smoke cfg =
          \  \"duration_s\": %.2f,\n\
          \  \"results\": [\n%s\n  ],\n\
          \  \"ratio_shard_over_list\": {\"disjoint_100\": %.3f, \"full_100\": \
+          %.3f, \"random_60\": %.3f},\n\
+         \  \"ratio_park_over_spin\": {\"disjoint_100\": %.3f, \"full_100\": \
           %.3f, \"random_60\": %.3f}\n\
           }\n"
          threads duration_s
          (String.concat ",\n" rows)
          (ratio "disjoint/100") (ratio "full/100") (ratio "random/60")
+         (pratio "disjoint/100") (pratio "full/100") (pratio "random/60")
      in
      (match path with
       | "-" -> print_string doc
@@ -852,6 +932,11 @@ let smoke cfg =
         say "smoke JSON written to %s" file);
      (* The lock-health pass would otherwise overwrite the file. *)
      json_path := None);
+  (match !gate_path with
+   | None -> ()
+   | Some file ->
+     gate ~baseline:file
+       [ ("full_100", ratio "full/100"); ("random_60", ratio "random/60") ]);
   verify cfg
 
 (* ---------------- driver ---------------- *)
@@ -859,8 +944,9 @@ let smoke cfg =
 let all_figures = [ 3; 4; 5; 6; 7; 8 ]
 
 let run figures quick bechamel_only ablation_only verify_only smoke_only csv
-    json =
+    json gate =
   Runner.init ();
+  gate_path := gate;
   (match csv with
    | Some dir ->
      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
@@ -950,11 +1036,19 @@ let json_arg =
            "Run a contended lock-health pass and write its per-lock \
             metrics/wait counters as JSON to this file (\"-\" = stdout).")
 
+let gate_arg =
+  Arg.(value & opt (some string) None & info [ "gate" ]
+         ~doc:
+           "With --smoke: compare the measured shard/list median paired \
+            ratios (full/100, random/60) against the ratio_shard_over_list \
+            object in this baseline JSON file and exit non-zero on a >15% \
+            regression.")
+
 let cmd =
   let term =
     Term.(
       const run $ figures_arg $ quick_arg $ bechamel_arg $ ablation_arg
-      $ verify_arg $ smoke_arg $ csv_arg $ json_arg)
+      $ verify_arg $ smoke_arg $ csv_arg $ json_arg $ gate_arg)
   in
   Cmd.v
     (Cmd.info "bench"

@@ -83,7 +83,9 @@ let timed_poll ~deadline_ns f =
          && Rlk_primitives.Clock.now_ns () > deadline_ns
       then None
       else begin
-        Rlk_primitives.Backoff.once b;
+        (* Clamp saturated naps to the remaining budget so a tight
+           deadline is missed by microseconds, not by a full nap. *)
+        Rlk_primitives.Backoff.once ~deadline_ns b;
         match f () with Some _ as h -> h | None -> go ()
       end
     in

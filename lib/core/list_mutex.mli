@@ -23,11 +23,16 @@ val create :
   ?stats:Rlk_primitives.Lockstat.t ->
   ?fast_path:bool ->
   ?fairness:int ->
+  ?park:bool ->
   unit ->
   t
 (** [create ()] — plain lock as evaluated in the paper's Section 7
     (no fast path, no fairness). [~fairness:patience] enables the
-    starvation-avoidance gate with the given failure budget. *)
+    starvation-avoidance gate with the given failure budget.
+    [~park:false] selects pure-spin waiting: blocked acquisitions poll
+    the conflicting node instead of parking on the per-domain
+    {!Rlk_primitives.Parker} after the spin budget (see doc/perf.md,
+    "Waiting strategies"). *)
 
 val acquire : t -> Range.t -> handle
 (** Block until the range can be held exclusively; linearizes at the

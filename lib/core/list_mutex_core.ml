@@ -21,33 +21,46 @@ let fp_insert_cas = Fault.point "list_mutex.insert_cas"
 let fp_overlap_wait = Fault.point "list_mutex.overlap_wait"
 let fp_release = Fault.point "list_mutex.release"
 
+(* Unsound skip shared with list_rw_core: drop the release-side wake of
+   parked waiters, injecting the lost-wakeup bug class the parking layer
+   must rule out. Armed only via a plan's [unsound] list — the chaos
+   self-test (test_chaos) proves the watchdog sees the resulting hang and
+   the model checker's park scenario reports it as a deadlock. *)
+let fp_wake_skip = Fault.point "parker.wake.skip"
+
 module Make
     (Sim : Traced_atomic.SIM)
     (N : Node_core.S with type 'a aref = 'a Sim.A.t)
     (G : Fairgate_core.S) =
 struct
+  module W = Waitq_core.Make (Sim)
+
   type t = {
     head : N.link Sim.A.t;
     fast_path : bool;
+    park : bool;  (* park blocking waiters (default) or pure-spin *)
     gate : G.t option;
     stats : Lockstat.t option;
     metrics : Metrics.t;
     board : Waitboard.t;
+    waitq : W.t;
   }
 
   type handle = N.t
 
   let name = "list-ex"
 
-  let create ?stats ?(fast_path = false) ?fairness () =
+  let create ?stats ?(fast_path = false) ?fairness ?(park = true) () =
     let board = Waitboard.create ~name in
     if Rlk_chaos.Watchdog.auto_watch () then Rlk_chaos.Watchdog.watch board;
     { head = Sim.A.make_contended N.nil;
       fast_path;
+      park;
       gate = Option.map (fun patience -> G.create ~patience ()) fairness;
       stats;
       metrics = Metrics.create ();
-      board }
+      board;
+      waitq = W.create () }
 
   exception Out_of_budget
   exception Would_block
@@ -76,20 +89,54 @@ struct
       node.N.span <- -1
     end
 
-  (* Wait (publishing on the waitboard) until [c] is marked deleted; raises
-     [Timed_out] past an absolute deadline ([max_int] = wait forever). *)
+  (* Wait until [c] is marked deleted; raises [Timed_out] past an absolute
+     deadline ([max_int] = wait forever). The waitboard publication (what
+     the watchdog reports) carries [node]'s requested range; the wait-queue
+     publication (what release-side wake-ups are matched against) carries
+     [c]'s range — the insert-position races mean the two need not overlap,
+     and the wake after [c] is marked carries exactly [c]'s range. *)
   let wait_marked t (node : N.t) (c : N.t) ~deadline_ns =
     Waitboard.wait_begin t.board ~lo:node.N.lo ~hi:node.N.hi ~write:true;
-    let timed_out = ref false in
-    Sim.wait_until (fun () ->
-        (Sim.A.get c.N.next).N.marked
-        || deadline_ns <> max_int
-           && Clock.now_ns () > deadline_ns
-           &&
-           (timed_out := true;
-            true));
+    let t0 = Clock.now_ns () in
+    let pred () = (Sim.A.get c.N.next).N.marked in
+    let ok =
+      if deadline_ns <> max_int then begin
+        (* A deadline cannot park — OCaml's [Condition] has no timed
+           wait — so timed waits poll, with saturated naps clamped to the
+           remaining budget. *)
+        let b = Backoff.create () in
+        let rec poll () =
+          pred ()
+          || Clock.now_ns () <= deadline_ns
+             && begin
+                  Backoff.once ~deadline_ns b;
+                  poll ()
+                end
+        in
+        poll ()
+      end
+      else begin
+        if t.park then begin
+          if W.wait t.waitq ~lo:c.N.lo ~hi:c.N.hi pred then
+            Metrics.park t.metrics
+        end
+        else Sim.wait_until pred;
+        true
+      end
+    in
     Waitboard.wait_end t.board;
-    if !timed_out then raise Timed_out
+    Metrics.waited t.metrics (Clock.now_ns () - t0);
+    if not ok then raise Timed_out
+
+  (* Every transition of a node to marked (the release of its range) must
+     be followed by one of these, or a parked waiter sleeps forever — the
+     lost-wakeup hazard [parker.wake.skip] injects on purpose. *)
+  let wake_released t (node : N.t) =
+    if Atomic.get Fault.enabled && Fault.skip fp_wake_skip then ()
+    else begin
+      let n = W.wake_overlap t.waitq ~lo:node.N.lo ~hi:node.N.hi in
+      if n > 0 then Metrics.wake t.metrics n
+    end
 
   (* One insertion attempt (the paper's InsertNode). Runs inside the epoch.
      Raises [Out_of_budget] when the fairness budget is exhausted (the node
@@ -276,11 +323,19 @@ struct
       if l.N.marked && N.succ_is l node
          && Sim.A.compare_and_set t.head l N.nil
       then
-        (* Eager removal: the node is already unlinked. *)
+        (* Eager removal: the node is already unlinked, and it was never
+           reachable by a traversal (any strip of the head mark would have
+           made this CAS fail), so no waiter can be parked on it. *)
         N.retire node
-      else mark_deleted node
+      else begin
+        mark_deleted node;
+        wake_released t node
+      end
     end
-    else mark_deleted node
+    else begin
+      mark_deleted node;
+      wake_released t node
+    end
 
   let with_range t r f =
     let h = acquire t r in

@@ -30,8 +30,11 @@ val create :
   ?fast_path:bool ->
   ?fairness:int ->
   ?prefer:preference ->
+  ?park:bool ->
   unit ->
   t
+(** [~park:false] selects pure-spin waiting (no parking past the spin
+    budget); see {!List_mutex.create}. *)
 
 val read_acquire : t -> Range.t -> handle
 (** Acquire in shared mode; may overlap other readers. *)

@@ -28,6 +28,11 @@ let fp_r_validate_skip = Fault.point "list_rw.r_validate.skip"
 let fp_w_validate_skip = Fault.point "list_rw.w_validate.skip"
 let fp_conflict_wait_skip = Fault.point "list_rw.conflict_wait.skip"
 
+(* Unsound skip (same point as list_mutex_core): drop the release-side
+   wake of parked waiters — the lost-wakeup bug class. See the chaos
+   self-test in test_chaos and the park-unpark model scenario. *)
+let fp_wake_skip = Fault.point "parker.wake.skip"
+
 type preference = Prefer_readers | Prefer_writers
 
 module Make
@@ -37,14 +42,18 @@ module Make
 struct
   type nonrec preference = preference = Prefer_readers | Prefer_writers
 
+  module W = Waitq_core.Make (Sim)
+
   type t = {
     head : N.link Sim.A.t;
     fast_path : bool;
     prefer : preference;
+    park : bool;  (* park blocking waiters (default) or pure-spin *)
     gate : G.t option;
     stats : Lockstat.t option;
     metrics : Metrics.t;
     board : Waitboard.t;
+    waitq : W.t;
   }
 
   type handle = N.t
@@ -52,7 +61,7 @@ struct
   let name = "list-rw"
 
   let create ?stats ?(fast_path = false) ?fairness ?(prefer = Prefer_readers)
-      () =
+      ?(park = true) () =
     let board = Waitboard.create ~name in
     if Rlk_chaos.Watchdog.auto_watch () then Rlk_chaos.Watchdog.watch board;
     (* The head is the hottest word of the lock: isolate it so concurrent
@@ -61,10 +70,12 @@ struct
     { head = Sim.A.make_contended N.nil;
       fast_path;
       prefer;
+      park;
       gate = Option.map (fun patience -> G.create ~patience ()) fairness;
       stats;
       metrics = Metrics.create ();
-      board }
+      board;
+      waitq = W.create () }
 
   exception Out_of_budget
   exception Would_block
@@ -129,22 +140,73 @@ struct
        && Sim.A.compare_and_set prev expected (N.link ~marked:false next_succ)
     then N.retire c
 
+  (* Blocking-wait back-end shared by every conflict wait below. Three
+     strategies:
+     - a finite deadline polls with deadline-clamped {!Backoff} naps
+       (OCaml's [Condition] has no timed wait, so a timed wait cannot
+       park);
+     - otherwise, with parking enabled (the default), the waiter publishes
+       [\[wlo,whi)] on the wait queue, spins briefly on its own flag and
+       then blocks on the per-domain {!Rlk_primitives.Parker};
+     - [~park:false] locks spin via [Sim.wait_until] (the pre-parking
+       behaviour, kept selectable for the spin-vs-park ablation).
+
+     [\[wlo,whi)] is the *awaited* resource's range — what release-side
+     wake scans are matched against — not the waiter's requested range:
+     insert-position races mean a waiter can block on a node that does not
+     overlap its own request, and the wake issued when that node is marked
+     carries exactly the node's range. Returns [false] on deadline
+     expiry. *)
+  let wait_pred t ~wlo ~whi ~deadline_ns pred =
+    let t0 = Clock.now_ns () in
+    let ok =
+      if deadline_ns <> max_int then begin
+        let b = Backoff.create () in
+        let rec poll () =
+          pred ()
+          || Clock.now_ns () <= deadline_ns
+             && begin
+                  Backoff.once ~deadline_ns b;
+                  poll ()
+                end
+        in
+        poll ()
+      end
+      else begin
+        if t.park then begin
+          if W.wait t.waitq ~lo:wlo ~hi:whi pred then Metrics.park t.metrics
+        end
+        else Sim.wait_until pred;
+        true
+      end
+    in
+    Metrics.waited t.metrics (Clock.now_ns () - t0);
+    ok
+
+  (* Every transition of a node to marked (and every head unlink a drain
+     waiter may be parked on) must be followed by one of these, or a
+     parked waiter sleeps forever — the lost-wakeup hazard
+     [parker.wake.skip] injects on purpose. One atomic load when nobody
+     waits. *)
+  let wake_released t (node : N.t) =
+    if Atomic.get Fault.enabled && Fault.skip fp_wake_skip then ()
+    else begin
+      let n = W.wake_overlap t.waitq ~lo:node.N.lo ~hi:node.N.hi in
+      if n > 0 then Metrics.wake t.metrics n
+    end
+
   let wait_until_marked t ~(node : N.t) c ~blocking ~deadline_ns =
     Metrics.overlap_wait t.metrics;
     if not blocking then raise Would_block;
     if Atomic.get Fault.enabled then Fault.hit fp_overlap_wait;
     Waitboard.wait_begin t.board ~lo:node.N.lo ~hi:node.N.hi
       ~write:(not node.N.reader);
-    let timed_out = ref false in
-    Sim.wait_until (fun () ->
-        (Sim.A.get c.N.next).N.marked
-        || deadline_ns <> max_int
-           && Clock.now_ns () > deadline_ns
-           &&
-           (timed_out := true;
-            true));
+    let ok =
+      wait_pred t ~wlo:c.N.lo ~whi:c.N.hi ~deadline_ns (fun () ->
+          (Sim.A.get c.N.next).N.marked)
+    in
     Waitboard.wait_end t.board;
-    if !timed_out then raise Timed_out
+    if not ok then raise Timed_out
 
   (* Reader validation (Listing 3, [r_validate]): scan forward from our
      node until ranges start at or past our end. With the paper's default
@@ -177,6 +239,7 @@ struct
               if t.prefer = Prefer_writers then
                 Metrics.validation_failure t.metrics;
               mark_deleted node;
+              wake_released t node;
               raise Validation_failed
             end
       in
@@ -215,6 +278,7 @@ struct
             else begin
               Metrics.validation_failure t.metrics;
               mark_deleted node;
+              wake_released t node;
               raise Validation_failed
             end
       in
@@ -406,10 +470,21 @@ struct
       let l = Sim.A.get t.head in
       if l.N.marked && N.succ_is l node
          && Sim.A.compare_and_set t.head l N.nil
-      then N.retire node
-      else mark_deleted node
+      then begin
+        (* Eagerly removed, but a wide (drain) waiter may be parked on the
+           head link changing: wake before the node recycles. *)
+        wake_released t node;
+        N.retire node
+      end
+      else begin
+        mark_deleted node;
+        wake_released t node
+      end
     end
-    else mark_deleted node
+    else begin
+      mark_deleted node;
+      wake_released t node
+    end
 
   let try_acquire_nb t ~reader r =
     let session = G.start None in
@@ -484,7 +559,11 @@ struct
           else attempt (N.alloc ~reader r)
         | exception Timed_out ->
           N.epoch_leave ();
-          if !linked then mark_deleted node else N.retire node;
+          if !linked then begin
+            mark_deleted node;
+            wake_released t node
+          end
+          else N.retire node;
           None
         | exception e -> N.epoch_leave (); raise e
       end
@@ -516,10 +595,19 @@ struct
       let l = Sim.A.get t.head in
       if l.N.marked && N.succ_is l node
          && Sim.A.compare_and_set t.head l N.nil
-      then N.retire node
-      else mark_deleted node
+      then begin
+        wake_released t node;
+        N.retire node
+      end
+      else begin
+        mark_deleted node;
+        wake_released t node
+      end
     end
-    else mark_deleted node
+    else begin
+      mark_deleted node;
+      wake_released t node
+    end
 
   let with_read t r f =
     let h = read_acquire t r in
@@ -572,16 +660,12 @@ struct
       Metrics.overlap_wait t.metrics;
       if Atomic.get Fault.enabled then Fault.hit fp_overlap_wait;
       Waitboard.wait_begin t.board ~lo ~hi ~write:(not reader);
-      let timed_out = ref false in
-      Sim.wait_until (fun () ->
-          (Sim.A.get c.N.next).N.marked
-          || deadline_ns <> max_int
-             && Clock.now_ns () > deadline_ns
-             &&
-             (timed_out := true;
-              true));
+      let ok =
+        wait_pred t ~wlo:c.N.lo ~whi:c.N.hi ~deadline_ns (fun () ->
+            (Sim.A.get c.N.next).N.marked)
+      in
       Waitboard.wait_end t.board;
-      not !timed_out
+      ok
     in
     N.epoch_pin (fun () ->
         let rec walk cur =
@@ -611,16 +695,18 @@ struct
               else begin
                 Metrics.overlap_wait t.metrics;
                 Waitboard.wait_begin t.board ~lo ~hi ~write:(not reader);
-                let timed_out = ref false in
-                Sim.wait_until (fun () ->
-                    Sim.A.get t.head != l
-                    || deadline_ns <> max_int
-                       && Clock.now_ns () > deadline_ns
-                       &&
-                       (timed_out := true;
-                        true));
+                (* Park on the holder's range: the head changes either at
+                   its release (whose wake carries exactly that range) or
+                   at a demotion by an inserter — and an inserter only
+                   strips the head mark on its way to waiting out the same
+                   conflict, so the deferred wake at the real release
+                   still unblocks us. *)
+                let ok =
+                  wait_pred t ~wlo:n.N.lo ~whi:n.N.hi ~deadline_ns
+                    (fun () -> Sim.A.get t.head != l)
+                in
                 Waitboard.wait_end t.board;
-                if !timed_out then false else from_head ()
+                if not ok then false else from_head ()
               end
             end
             else walk (Some n)

@@ -9,6 +9,9 @@ type t = {
   validation_failures : Padded_counters.t;
   escalations : Padded_counters.t;
   timeouts : Padded_counters.t;
+  parks : Padded_counters.t;
+  wakes : Padded_counters.t;
+  wait_hist : Nshist.t;
 }
 
 type snapshot = {
@@ -20,13 +23,16 @@ type snapshot = {
   validation_failures : int;
   escalations : int;
   timeouts : int;
+  parks : int;   (* waits that blocked on the parker past the spin budget *)
+  wakes : int;   (* targeted unparks issued by release-side scans *)
+  wait_hist : (int * int) list;  (* blocking-wait durations, log2 ns *)
 }
 
 let create () =
   let c () = Padded_counters.create ~slots:Domain_id.capacity in
   { acquisitions = c (); fast_path = c (); restarts = c (); cas_failures = c ();
     overlap_waits = c (); validation_failures = c (); escalations = c ();
-    timeouts = c () }
+    timeouts = c (); parks = c (); wakes = c (); wait_hist = Nshist.create () }
 
 let bump c = Padded_counters.incr c (Domain_id.get ())
 
@@ -44,6 +50,13 @@ let overlap_wait (t : t) = bump t.overlap_waits
 let validation_failure (t : t) = bump t.validation_failures
 let escalation (t : t) = bump t.escalations
 let timeout (t : t) = bump t.timeouts
+let park (t : t) = bump t.parks
+let wake (t : t) n = Padded_counters.add t.wakes (Domain_id.get ()) n
+
+(* One blocking wait completed after [ns] nanoseconds (spin, park and
+   timed-poll waits alike — the histogram is the wait-latency picture the
+   spin-vs-park comparison in doc/perf.md reads). *)
+let waited (t : t) ns = Nshist.add t.wait_hist ns
 
 let snapshot (t : t) : snapshot =
   { acquisitions = Padded_counters.sum t.acquisitions;
@@ -53,7 +66,10 @@ let snapshot (t : t) : snapshot =
     overlap_waits = Padded_counters.sum t.overlap_waits;
     validation_failures = Padded_counters.sum t.validation_failures;
     escalations = Padded_counters.sum t.escalations;
-    timeouts = Padded_counters.sum t.timeouts }
+    timeouts = Padded_counters.sum t.timeouts;
+    parks = Padded_counters.sum t.parks;
+    wakes = Padded_counters.sum t.wakes;
+    wait_hist = Nshist.snapshot t.wait_hist }
 
 let reset (t : t) =
   Padded_counters.reset t.acquisitions;
@@ -63,19 +79,24 @@ let reset (t : t) =
   Padded_counters.reset t.overlap_waits;
   Padded_counters.reset t.validation_failures;
   Padded_counters.reset t.escalations;
-  Padded_counters.reset t.timeouts
+  Padded_counters.reset t.timeouts;
+  Padded_counters.reset t.parks;
+  Padded_counters.reset t.wakes;
+  Nshist.reset t.wait_hist
 
 let pp_snapshot ppf s =
   Format.fprintf ppf
     "acq=%d fast=%d restarts=%d cas-fail=%d waits=%d val-fail=%d \
-     escalations=%d timeouts=%d"
+     escalations=%d timeouts=%d parks=%d wakes=%d"
     s.acquisitions s.fast_path_hits s.restarts s.cas_failures s.overlap_waits
-    s.validation_failures s.escalations s.timeouts
+    s.validation_failures s.escalations s.timeouts s.parks s.wakes
 
 let to_json s =
   Printf.sprintf
     "{\"acquisitions\":%d,\"fast_path_hits\":%d,\"restarts\":%d,\
      \"cas_failures\":%d,\"overlap_waits\":%d,\"validation_failures\":%d,\
-     \"escalations\":%d,\"timeouts\":%d}"
+     \"escalations\":%d,\"timeouts\":%d,\"parks\":%d,\"wakes\":%d,\
+     \"wait_hist_ns\":%s}"
     s.acquisitions s.fast_path_hits s.restarts s.cas_failures s.overlap_waits
-    s.validation_failures s.escalations s.timeouts
+    s.validation_failures s.escalations s.timeouts s.parks s.wakes
+    (Nshist.to_json s.wait_hist)

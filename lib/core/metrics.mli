@@ -14,6 +14,12 @@ type snapshot = {
   validation_failures : int; (** writer validation restarts (RW variant) *)
   escalations : int;    (** fairness-gate escalations to impatient mode *)
   timeouts : int;       (** timed acquisitions that hit their deadline *)
+  parks : int;
+      (** waits that blocked on the OS parker past the spin budget *)
+  wakes : int;  (** targeted unparks issued by release-side wake scans *)
+  wait_hist : (int * int) list;
+      (** blocking-wait durations as log2 {!Rlk_primitives.Nshist}
+          buckets [(upper_bound_ns, count)] *)
 }
 
 val create : unit -> t
@@ -30,6 +36,15 @@ val overlap_wait : t -> unit
 val validation_failure : t -> unit
 val escalation : t -> unit
 val timeout : t -> unit
+val park : t -> unit
+
+val wake : t -> int -> unit
+(** [wake t n] records [n] fresh notifications from one release-side
+    overlap scan. *)
+
+val waited : t -> int -> unit
+(** [waited t ns] adds one completed blocking wait to the wait-time
+    histogram. *)
 
 val snapshot : t -> snapshot
 val reset : t -> unit

@@ -341,15 +341,45 @@ let rwlock_basic =
       { Explore.fibers = [| reader; writer; reader |];
         check = oracle_check r })
 
+(* The parking hand-off (PR 5): a writer parks on the holder's node while
+   the holder's release runs the mark + wake-overlap scan. The waiter's
+   Dekker protocol (publish slot -> arm flag -> re-check predicate ->
+   park) must interleave safely with the releaser's (mark node -> load
+   nwaiting -> scan slots -> notify): any hole loses the wake and the
+   waiter's fiber is never re-enabled, which the scheduler reports as a
+   deadlock. That is exactly what arming [parker.wake.skip] produces (the
+   parker mutation self-test in test_model); unmutated code must be
+   violation-free. Both fibers run the parking path because every blocking
+   wait with no deadline parks by default. *)
+let park_unpark =
+  scenario "park-unpark" ~bound:3 (fun () ->
+      let module S = Stack (struct let pool_target = 4 end) () in
+      let lock = S.LRW.create () in
+      let r = recorder () in
+      let body lo hi () =
+        let h = S.LRW.write_acquire lock (range lo hi) in
+        let span = acquired r ~lock:"rw" ~mode:Lockstat.Write ~lo ~hi in
+        Sched.note (Printf.sprintf "writer holds [%d,%d)" lo hi);
+        Sched.pause ();
+        released r ~lock:"rw" ~mode:Lockstat.Write ~span ~lo ~hi;
+        S.LRW.release lock h
+      in
+      { Explore.fibers = [| body 0 2; body 1 3 |]; check = oracle_check r })
+
 let all =
   [ mutex_overlap; mutex_fastpath; mutex_try; mutex_3dom; rw_validate_race;
     rw_writer_pref; rw_fastpath; ebr_recycle; fairgate_escalate;
-    rwlock_basic ]
+    rwlock_basic; park_unpark ]
 
 (* The scenario the mutation self-test arms [list_rw.w_validate.skip]
    against: with the skip armed the explorer must produce an overlap
    counterexample here; with real code it must report zero violations. *)
 let mutation_target = rw_validate_race
+
+(* Likewise for [parker.wake.skip]: with release-side wakes dropped the
+   explorer must find a schedule where a parked waiter is never
+   re-enabled (a deadlock); pristine code must come back clean. *)
+let parker_mutation_target = park_unpark
 
 let run t =
   Explore.explore ~bound:t.bound ~max_steps:t.max_steps t.scen

@@ -171,6 +171,19 @@ module Sim : Rlk_primitives.Traced_atomic.SIM = struct
       in
       loop ()
 
+  (* Parking is just a suspension to the checker: the fiber blocks on its
+     flag like any [Wait] step, so publish/arm/check/park interleave with
+     mark/scan/notify as ordinary scheduling points. A wake that never
+     comes (the lost-wakeup bug class, injectable via [parker.wake.skip])
+     leaves the fiber permanently disabled — reported as a deadlock. *)
+  let park ready =
+    wait_until ready;
+    true
+
+  (* The notifying flag write already bumped the version, which is what
+     re-enables the suspended fiber; there is no OS parker to poke. *)
+  let unpark _slot = ()
+
   type 'a dls = { tbl : (int, 'a) Hashtbl.t; init : unit -> 'a }
 
   let dls_new init = { tbl = Hashtbl.create 8; init }

@@ -10,12 +10,22 @@ let create ?(min_log = 4) ?(max_log = 10) () =
     invalid_arg "Backoff.create: need 0 <= min_log <= max_log";
   { min_log; max_log; cur_log = min_log; events = 0 }
 
-let once t =
+let nap_s = 1e-6
+
+let once ?(deadline_ns = max_int) t =
   t.events <- t.events + 1;
   if t.cur_log >= t.max_log then begin
     (* Saturated: deschedule briefly so lock holders can run even when
-       domains outnumber CPUs. *)
-    (try Unix.sleepf 1e-6 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+       domains outnumber CPUs. Clamped to the caller's remaining deadline
+       budget — an unclamped nap would overshoot a timed acquisition by up
+       to the whole nap (plus timer slack) per iteration. *)
+    let nap =
+      if deadline_ns = max_int then nap_s
+      else
+        Float.min nap_s (float_of_int (deadline_ns - Clock.now_ns ()) *. 1e-9)
+    in
+    if nap > 0.0 then
+      try Unix.sleepf nap with Unix.Unix_error (Unix.EINTR, _, _) -> ()
   end else begin
     let spins = 1 lsl t.cur_log in
     for _ = 1 to spins do

@@ -12,8 +12,11 @@ val create : ?min_log:int -> ?max_log:int -> unit -> t
 (** Fresh backoff state. Spin counts range over [2^min_log .. 2^max_log]
     (defaults 4 and 10). *)
 
-val once : t -> unit
-(** Back off once and escalate the next delay. *)
+val once : ?deadline_ns:int -> t -> unit
+(** Back off once and escalate the next delay. When a finite absolute
+    [deadline_ns] is given, saturated naps are clamped to the remaining
+    budget (and skipped entirely once it is spent), so a timed acquisition
+    never oversleeps its deadline by a nap. *)
 
 val reset : t -> unit
 (** Return to the minimum delay (call after a successful acquisition). *)

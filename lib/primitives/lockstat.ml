@@ -13,6 +13,8 @@ type t = {
   write_wait : int array;
   write_count : int array;
   write_max : int array;
+  read_hist : Nshist.t;
+  write_hist : Nshist.t;
 }
 
 type snapshot = {
@@ -22,26 +24,31 @@ type snapshot = {
   write_wait_ns : int;
   write_count : int;
   write_max_ns : int;
+  read_hist : (int * int) list;
+  write_hist : (int * int) list;
 }
 
-let create name =
+let create name : t =
   let cells () = Array.make (Domain_id.capacity * stride) 0 in
   { name; read_wait = cells (); read_count = cells (); read_max = cells ();
-    write_wait = cells (); write_count = cells (); write_max = cells () }
+    write_wait = cells (); write_count = cells (); write_max = cells ();
+    read_hist = Nshist.create (); write_hist = Nshist.create () }
 
 let name t = t.name
 
-let add t mode ns =
+let add (t : t) mode ns =
   let i = Domain_id.get () * stride in
   match mode with
   | Read ->
     t.read_wait.(i) <- t.read_wait.(i) + ns;
     t.read_count.(i) <- t.read_count.(i) + 1;
-    if ns > t.read_max.(i) then t.read_max.(i) <- ns
+    if ns > t.read_max.(i) then t.read_max.(i) <- ns;
+    Nshist.add t.read_hist ns
   | Write ->
     t.write_wait.(i) <- t.write_wait.(i) + ns;
     t.write_count.(i) <- t.write_count.(i) + 1;
-    if ns > t.write_max.(i) then t.write_max.(i) <- ns
+    if ns > t.write_max.(i) then t.write_max.(i) <- ns;
+    Nshist.add t.write_hist ns
 
 let sum a =
   let acc = ref 0 in
@@ -59,15 +66,19 @@ let max_of a =
   done;
   !acc
 
-let snapshot t =
+let snapshot (t : t) : snapshot =
   { read_wait_ns = sum t.read_wait;
     read_count = sum t.read_count;
     read_max_ns = max_of t.read_max;
     write_wait_ns = sum t.write_wait;
     write_count = sum t.write_count;
-    write_max_ns = max_of t.write_max }
+    write_max_ns = max_of t.write_max;
+    read_hist = Nshist.snapshot t.read_hist;
+    write_hist = Nshist.snapshot t.write_hist }
 
-let reset t =
+let reset (t : t) =
+  Nshist.reset t.read_hist;
+  Nshist.reset t.write_hist;
   Array.fill t.read_wait 0 (Array.length t.read_wait) 0;
   Array.fill t.read_count 0 (Array.length t.read_count) 0;
   Array.fill t.read_max 0 (Array.length t.read_max) 0;
@@ -90,9 +101,12 @@ let max_wait_ns s = function
 let to_json s =
   Printf.sprintf
     "{\"read_wait_ns\":%d,\"read_count\":%d,\"read_max_ns\":%d,\
-     \"write_wait_ns\":%d,\"write_count\":%d,\"write_max_ns\":%d}"
+     \"write_wait_ns\":%d,\"write_count\":%d,\"write_max_ns\":%d,\
+     \"read_wait_hist_ns\":%s,\"write_wait_hist_ns\":%s}"
     s.read_wait_ns s.read_count s.read_max_ns s.write_wait_ns s.write_count
     s.write_max_ns
+    (Nshist.to_json s.read_hist)
+    (Nshist.to_json s.write_hist)
 
 let pp_snapshot ppf s =
   Format.fprintf ppf

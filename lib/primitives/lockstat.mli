@@ -17,6 +17,9 @@ type snapshot = {
   write_wait_ns : int; (** total nanoseconds spent waiting for write grants *)
   write_count : int;   (** number of write acquisitions *)
   write_max_ns : int;  (** worst single write wait *)
+  read_hist : (int * int) list;
+      (** read-wait distribution: log2 {!Nshist} buckets *)
+  write_hist : (int * int) list;  (** write-wait distribution *)
 }
 
 val create : string -> t

@@ -1,0 +1,65 @@
+(* Power-of-two nanosecond histogram with per-domain rows.
+
+   Bucket [b] counts durations in [2^b, 2^(b+1)) ns (bucket 0 also takes
+   <= 1 ns, the last bucket takes everything past ~8.4 s). Each domain
+   slot owns a row of plain ints written only by that domain; the row
+   stride is a multiple of the cache line so rows never false-share. *)
+
+let buckets = 24
+
+(* 24 buckets rounded up so each row spans whole cache lines (32 words =
+   256 bytes). *)
+let stride = 32
+
+(* Slot [s]'s row starts at [(s + 1) * stride]: leading and trailing guard
+   rows keep the first and last slots off lines shared with neighbouring
+   allocations (same layout as Padded_counters). *)
+type t = int array
+
+let create () = Array.make ((Domain_id.capacity + 2) * stride) 0
+
+let bucket_of_ns ns =
+  if ns <= 1 then 0
+  else begin
+    let b = ref 0 in
+    let n = ref ns in
+    while !n > 1 && !b < buckets - 1 do
+      n := !n lsr 1;
+      incr b
+    done;
+    !b
+  end
+
+let add t ns =
+  let i = ((Domain_id.get () + 1) * stride) + bucket_of_ns ns in
+  t.(i) <- t.(i) + 1
+
+let snapshot t =
+  let acc = ref [] in
+  for b = buckets - 1 downto 0 do
+    let total = ref 0 in
+    for s = 0 to Domain_id.capacity - 1 do
+      total := !total + t.(((s + 1) * stride) + b)
+    done;
+    if !total > 0 then acc := (1 lsl (b + 1), !total) :: !acc
+  done;
+  !acc
+
+let total h = List.fold_left (fun acc (_, n) -> acc + n) 0 h
+
+let reset t = Array.fill t 0 (Array.length t) 0
+
+let to_json h =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (le, n) -> Printf.sprintf "\"%d\":%d" le n) h)
+  ^ "}"
+
+let pp ppf h =
+  Format.fprintf ppf "@[<h>";
+  List.iteri
+    (fun i (le, n) ->
+      if i > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "<%dns:%d" le n)
+    h;
+  Format.fprintf ppf "@]"

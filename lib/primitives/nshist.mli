@@ -1,0 +1,28 @@
+(** Log2-bucketed nanosecond histograms with padded per-domain rows: the
+    wait-time distribution behind {!Lockstat} and [Rlk.Metrics]. One plain
+    array store per recorded duration; rows are cache-line isolated per
+    domain slot so recording never contends. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** [add t ns] counts one duration of [ns] nanoseconds into the calling
+    domain's row (bucket [floor (log2 ns)], clamped to the bucket
+    range). *)
+
+val snapshot : t -> (int * int) list
+(** Non-empty buckets, ascending, as [(upper_bound_ns, count)]: [count]
+    durations fell below [upper_bound_ns] (and at or above the previous
+    bucket's bound). *)
+
+val total : (int * int) list -> int
+(** Sum of all bucket counts in a snapshot. *)
+
+val reset : t -> unit
+
+val to_json : (int * int) list -> string
+(** One JSON object keyed by upper bound: [{"1024":17,"2048":3}]. *)
+
+val pp : Format.formatter -> (int * int) list -> unit

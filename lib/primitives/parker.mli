@@ -1,0 +1,25 @@
+(** Per-domain OS-level parkers: the blocking half of the parking layer
+    (see waitq_core.ml for the publication protocol and doc/perf.md,
+    "Waiting strategies", for when parking beats spinning).
+
+    One padded [Mutex]/[Condition] pair per {!Domain_id} slot. A waiter
+    blocks on its own slot's parker until a caller-supplied flag check
+    holds; a releaser wakes a slot by broadcasting on its parker after
+    setting the flag. Slots alias modulo [Domain_id.capacity], so wake-ups
+    are broadcasts and sleepers must tolerate spurious ones. *)
+
+type t
+
+val mine : unit -> t
+(** The calling domain's parker. *)
+
+val block : t -> (unit -> bool) -> unit
+(** [block p ready] sleeps until [ready ()] holds. [ready] is evaluated
+    under the parker's mutex before every sleep, so a waker that makes it
+    true and then calls {!wake} on this slot cannot be missed. [ready]
+    must be cheap and side-effect free (it is re-evaluated on every
+    wake-up, spurious or not). *)
+
+val wake : int -> unit
+(** [wake i] broadcasts on domain slot [i]'s parker. Call after making the
+    sleeper's [ready] condition true. *)

@@ -23,17 +23,26 @@ end
 
 module Make (Sim : Traced_atomic.SIM) = struct
   module A = Sim.A
+  module W = Waitq_core.Make (Sim)
 
   (* state >= 0: number of active readers; state = -1: write-locked.
-     writers_waiting > 0 blocks new readers, giving writers preference. *)
+     writers_waiting > 0 blocks new readers, giving writers preference.
+     Waiters park on [wq] (the whole lock is the unit range [0,1)): the
+     write-release and the last read-release wake everyone, and a woken
+     waiter whose turn has not come re-parks. This is the fairgate
+     escalation wait — the deepest poll loop in the stack before the
+     parking layer. *)
   type t = {
     state : int A.t;
     writers_waiting : int A.t;
+    wq : W.t;
     stats : Lockstat.t option;
   }
 
   let create ?stats () =
-    { state = A.make 0; writers_waiting = A.make 0; stats }
+    { state = A.make 0; writers_waiting = A.make 0; wq = W.create (); stats }
+
+  let wake_all t = ignore (W.wake_overlap t.wq ~lo:0 ~hi:1)
 
   let try_read_acquire t =
     A.get t.writers_waiting = 0
@@ -49,7 +58,7 @@ module Make (Sim : Traced_atomic.SIM) = struct
     end
     else begin
       let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in
-      Sim.wait_until (fun () -> try_read_acquire t);
+      ignore (W.wait t.wq ~lo:0 ~hi:1 (fun () -> try_read_acquire t));
       match t.stats with
       | None -> ()
       | Some s -> Lockstat.add s Lockstat.Read (Clock.now_ns () - t0)
@@ -57,7 +66,9 @@ module Make (Sim : Traced_atomic.SIM) = struct
 
   let read_release t =
     let prev = A.fetch_and_add t.state (-1) in
-    assert (prev > 0)
+    assert (prev > 0);
+    (* Last reader out: a parked writer's CAS can now succeed. *)
+    if prev = 1 then wake_all t
 
   let try_write_acquire t = A.compare_and_set t.state 0 (-1)
 
@@ -71,7 +82,8 @@ module Make (Sim : Traced_atomic.SIM) = struct
     end
     else begin
       let t0 = match t.stats with None -> 0 | Some _ -> Clock.now_ns () in
-      Sim.wait_until (fun () -> A.compare_and_set t.state 0 (-1));
+      ignore
+        (W.wait t.wq ~lo:0 ~hi:1 (fun () -> A.compare_and_set t.state 0 (-1)));
       ignore (A.fetch_and_add t.writers_waiting (-1));
       match t.stats with
       | None -> ()
@@ -80,7 +92,8 @@ module Make (Sim : Traced_atomic.SIM) = struct
 
   let write_release t =
     let swapped = A.compare_and_set t.state (-1) 0 in
-    assert swapped
+    assert swapped;
+    wake_all t
 
   let with_read t f =
     read_acquire t;

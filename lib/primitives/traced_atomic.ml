@@ -66,6 +66,22 @@ module type SIM = sig
       effects (e.g. a CAS retry); it must not recurse into
       [wait_until]. *)
 
+  val park : (unit -> bool) -> bool
+  (** Block until [ready ()] holds, relying on a cooperating waker
+      instead of polling: the caller must have published itself (e.g. on
+      a {!Waitq_core} slot) such that whoever makes [ready] true
+      afterwards calls {!unpark} with this domain's id. Production: a
+      bounded local spin on [ready] (the waiter's own flag — one cached
+      line), then block on the domain's {!Parker}. Model: suspend the
+      fiber, like {!wait_until}. Returns [true] when the wait outlasted
+      the spin budget and actually blocked (parking statistics). *)
+
+  val unpark : int -> unit
+  (** Wake domain slot [i] out of {!park}, after making its [ready]
+      condition true. Production: broadcast on that slot's {!Parker}.
+      Model: no-op — the atomic write that made [ready] true already
+      re-enables the suspended fiber. *)
+
   type 'a dls
   (** Domain-local storage (virtualized per simulated domain under the
       checker). *)
@@ -109,6 +125,28 @@ struct
         Backoff.once b
       done
     end
+
+  (* Spin budget before blocking: long enough to catch a holder releasing
+     on another core within a few hundred ns, short enough that an
+     oversubscribed waiter yields its CPU to the holder quickly. *)
+  let park_spin_budget = 256
+
+  let park ready =
+    let rec spin n =
+      ready ()
+      || n > 0
+         && begin
+              Domain.cpu_relax ();
+              spin (n - 1)
+            end
+    in
+    if spin park_spin_budget then false
+    else begin
+      Parker.block (Parker.mine ()) ready;
+      true
+    end
+
+  let unpark = Parker.wake
 
   type 'a dls = 'a Domain.DLS.key
 

@@ -100,7 +100,7 @@ type t = {
 let name = "shard-rw"
 
 let create ?stats ?(shards = 8) ?(space = 1 lsl 16) ?wide_span
-    ?(fast_path = true) () =
+    ?(fast_path = true) ?park () =
   let router = Router.create ~shards ~space in
   let wide_span =
     match wide_span with Some w -> max 1 w | None -> max 1 (shards / 4)
@@ -109,8 +109,8 @@ let create ?stats ?(shards = 8) ?(space = 1 lsl 16) ?wide_span
   { router;
     shards =
       Array.init shards (fun _ ->
-          Padded_counters.isolate (List_rw.create ~fast_path ()));
-    wide = Padded_counters.isolate (List_rw.create ~fast_path ());
+          Padded_counters.isolate (List_rw.create ~fast_path ?park ()));
+    wide = Padded_counters.isolate (List_rw.create ~fast_path ?park ());
     counts_w = Array.init shards (fun _ -> Padded_counters.atomic 0);
     counts_r = Array.init shards (fun _ -> Padded_counters.atomic 0);
     all_w = Padded_counters.atomic 0;
@@ -646,6 +646,16 @@ type snapshot = {
 let snapshot (t : t) : snapshot =
   let add (a : Rlk.Metrics.snapshot) (b : Rlk.Metrics.snapshot) :
       Rlk.Metrics.snapshot =
+    (* Histograms are sorted assoc lists (upper_bound_ns, count): merge
+       bucket-wise. *)
+    let rec merge_hist h1 h2 =
+      match h1, h2 with
+      | [], h | h, [] -> h
+      | (u1, c1) :: r1, (u2, c2) :: r2 ->
+        if u1 = u2 then (u1, c1 + c2) :: merge_hist r1 r2
+        else if u1 < u2 then (u1, c1) :: merge_hist r1 h2
+        else (u2, c2) :: merge_hist h1 r2
+    in
     { acquisitions = a.acquisitions + b.acquisitions;
       fast_path_hits = a.fast_path_hits + b.fast_path_hits;
       restarts = a.restarts + b.restarts;
@@ -653,7 +663,10 @@ let snapshot (t : t) : snapshot =
       overlap_waits = a.overlap_waits + b.overlap_waits;
       validation_failures = a.validation_failures + b.validation_failures;
       escalations = a.escalations + b.escalations;
-      timeouts = a.timeouts + b.timeouts }
+      timeouts = a.timeouts + b.timeouts;
+      parks = a.parks + b.parks;
+      wakes = a.wakes + b.wakes;
+      wait_hist = merge_hist a.wait_hist b.wait_hist }
   in
   let sub =
     Array.fold_left

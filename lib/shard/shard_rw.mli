@@ -24,14 +24,15 @@ val create :
   ?space:int ->
   ?wide_span:int ->
   ?fast_path:bool ->
+  ?park:bool ->
   unit ->
   t
 (** [shards] (default 8) independent lists over a universe of [space]
     (default [65536]) units; points past [space] route to the last shard,
     so the tuning only affects balance, never correctness. [wide_span]
     (default [max 1 (shards / 4)], clamped to [>= 1]) is the largest cover
-    still taken shard-by-shard. [fast_path] is forwarded to every
-    underlying list. *)
+    still taken shard-by-shard. [fast_path] and [park] are forwarded to
+    every underlying list. *)
 
 val router : t -> Router.t
 

@@ -37,9 +37,22 @@ module Kernel_rw : Rlk.Intf.RW = Rlk.Intf.Rw_timed (struct
   let release = Rlk_baselines.Tree_rw.release
 end)
 
+(* Spin-only ablation of list-rw (PR 5): the identical lock with parking
+   disabled, so blocked acquisitions poll instead of handing off through
+   the per-domain parker. The smoke pass pairs it against list-rw to
+   measure what the parking layer buys under oversubscription. *)
+module List_rw_spin : Rlk.Intf.RW = struct
+  include Rlk.List_rw
+
+  let name = "list-rw-spin"
+
+  let create ?stats () = Rlk.List_rw.create ?stats ~park:false ()
+end
+
 let arrbench_locks : (string * Rlk.Intf.rw_impl) list =
   [ ("list-ex", (module List_ex_rw));
     ("list-rw", (module Rlk.Intf.List_rw_impl));
+    ("list-rw-spin", (module List_rw_spin));
     ("lustre-ex", (module Lustre_rw));
     ("kernel-rw", (module Kernel_rw));
     ("pnova-rw", Rlk_baselines.Segment_rw.impl ~segments:256 ~segment_size:1);

@@ -42,6 +42,13 @@ let run ~variant ~mutators ?(space_pages = 2048) ?(region_pages = 16) () =
                 end
               done))
     in
+    (* Wait until the guest is actually running before starting the timed
+       copy: on an oversubscribed host the freshly spawned mutator domains
+       may not get a quantum before a fast copier finishes, which would
+       time an idle-guest migration (and report zero mutator activity). *)
+    while Atomic.get faults = 0 do
+      Domain.cpu_relax ()
+    done;
     (* The copier: one read acquisition per region, with per-page copy work
        done under it (the snapshot must be consistent w.r.t. protection
        flips, which take write ranges). *)

@@ -103,6 +103,62 @@ let mutation () =
   | Explore.Fail v ->
     Alcotest.fail (record_counterexample (t.scen.name ^ " (clean)") v)
 
+(* Second mutation: drop release-side wakes ([parker.wake.skip]). A parked
+   waiter whose wake is skipped is never re-enabled, so the explorer must
+   find a deadlock on the park-unpark scenario; the counterexample must
+   replay from its seed (or deviation list), and pristine code must come
+   back clean. Proves the checker actually observes the park/unpark
+   hand-off rather than abstracting it away. *)
+let parker_mutation () =
+  let t = Scenarios.parker_mutation_target in
+  Fault.arm
+    (Fault.plan ~p:1.0 ~cas_fail_p:0.0 ~relax_spins:0 ~yield_every:0
+       ~delay_ns:0
+       ~unsound:[ "parker.wake.skip" ]
+       ~only:[ "parker.wake" ] ~seed:1105 ());
+  Fun.protect ~finally:Fault.disarm (fun () ->
+      match Scenarios.run t with
+      | Explore.Pass { executions } ->
+        Alcotest.failf
+          "release wakes dropped but %d explored schedules all passed —\n\
+           the checker is not observing the parking hand-off" executions
+      | Explore.Fail v ->
+        (match v.kind with
+        | Explore.Deadlock -> ()
+        | k ->
+          Alcotest.failf "expected a lost-wakeup deadlock, got: %s"
+            (Format.asprintf "%a" Explore.pp_failure_kind k));
+        Printf.printf
+          "parker mutation counterexample found after %d schedule(s) \
+           (expected):\n\
+           %s\n\
+           %!"
+          v.executions
+          (Explore.violation_to_string t.scen.name v);
+        (match v.seed with
+        | Some seed -> (
+          match Explore.replay ~max_steps:t.max_steps t.scen ~seed with
+          | Explore.Fail { kind = Explore.Deadlock; _ } -> ()
+          | Explore.Fail { kind; _ } ->
+            Alcotest.failf "seed %d replayed to a different failure: %s" seed
+              (Format.asprintf "%a" Explore.pp_failure_kind kind)
+          | Explore.Pass _ ->
+            Alcotest.failf "seed %d did not reproduce the counterexample"
+              seed)
+        | None -> (
+          match
+            Explore.run_deviations ~max_steps:t.max_steps t.scen v.deviations
+          with
+          | Some Explore.Deadlock -> ()
+          | _ ->
+            Alcotest.fail
+              "deviation list did not reproduce the counterexample")));
+  (* Pristine code: the same exploration must be violation-free. *)
+  match Scenarios.run t with
+  | Explore.Pass _ -> ()
+  | Explore.Fail v ->
+    Alcotest.fail (record_counterexample (t.scen.name ^ " (clean)") v)
+
 let () =
   let scens =
     List.filter (fun t -> full || not t.Scenarios.full_only) Scenarios.all
@@ -119,5 +175,6 @@ let () =
   Alcotest.run "model"
     [ ("scenarios", cases);
       ( "mutation",
-        [ Alcotest.test_case "w_validate-skip counterexample" `Quick mutation
-        ] ) ]
+        [ Alcotest.test_case "w_validate-skip counterexample" `Quick mutation;
+          Alcotest.test_case "parker-wake-skip counterexample" `Quick
+            parker_mutation ] ) ]

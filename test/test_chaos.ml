@@ -181,6 +181,122 @@ let test_watchdog_scan () =
     (List.length (Watchdog.scan ~threshold_ns:0));
   Watchdog.clear ()
 
+(* ---------------- Lost-wakeup self-test (parking layer) ----------------
+
+   Mirrors the w_validate mutation self-test: prove the observability
+   stack actually detects the bug class the parking layer must rule out.
+   Arming [parker.wake.skip] (p=1.0, replayable seed) drops the
+   release-side wake scan, so a waiter parked on the holder's node hangs
+   with its waitboard publication still up — the watchdog must flag it.
+   Recovery is the parking protocol itself: disarm, then release another
+   overlapping range, whose wake scan unparks the stranded waiter. The
+   identical schedule disarmed must complete with nothing flagged. *)
+
+let lost_wakeup_plan =
+  Fault.plan ~p:1.0 ~cas_fail_p:0.0 ~relax_spins:0 ~yield_every:0 ~delay_ns:0
+    ~unsound:[ "parker.wake.skip" ] ~only:[ "parker.wake" ] ~seed:514 ()
+
+let sleep_ms ms = Unix.sleepf (float_of_int ms /. 1000.0)
+
+let poll_until ?(timeout_ms = 5_000) pred =
+  let deadline = Clock.now_ns () + (timeout_ms * 1_000_000) in
+  let rec go () =
+    pred () || (Clock.now_ns () <= deadline && (sleep_ms 1; go ()))
+  in
+  go ()
+
+(* One armed attempt. Returns [true] if the injected hang was observed
+   (watchdog flagged the parked waiter and it stayed blocked); [false] in
+   the benign race where the waiter slipped past its predicate re-check
+   before the sabotaged release (it then finishes on its own) — the
+   caller retries. Always leaves the waiter joined and faults disarmed. *)
+let lost_wakeup_attempt () =
+  Watchdog.clear ();
+  Watchdog.set_auto_watch true;
+  let lock = List_rw.create () in
+  Watchdog.set_auto_watch false;
+  let woken = Atomic.make false in
+  let h = List_rw.write_acquire lock (range 0 10) in
+  let waiter =
+    Domain.spawn (fun () ->
+        let h' = List_rw.write_acquire lock (range 0 10) in
+        Atomic.set woken true;
+        List_rw.release lock h')
+  in
+  (* The waiter publishes on the waitboard before arming its parker. *)
+  if not (poll_until (fun () -> Watchdog.scan ~threshold_ns:0 <> [])) then
+    Alcotest.fail "waiter never published its wait";
+  (* The holder is still in place, so the waiter's predicate stays false
+     and it must reach the parked state; give it ample time. *)
+  sleep_ms 50;
+  with_plan lost_wakeup_plan (fun () -> List_rw.release lock h);
+  (* Wake dropped: the waiter must still be flagged as stuck well past
+     the release. *)
+  sleep_ms 100;
+  let stuck = Watchdog.scan ~threshold_ns:0 in
+  let hung = (not (Atomic.get woken)) && stuck <> [] in
+  if hung then begin
+    (match stuck with
+     | s :: _ ->
+       Alcotest.(check string) "board" List_rw.name s.Watchdog.lock;
+       Alcotest.(check int) "lo" 0 s.Watchdog.lo;
+       Alcotest.(check int) "hi" 10 s.Watchdog.hi;
+       Alcotest.(check bool) "write wait" true s.Watchdog.write
+     | [] -> assert false);
+    (* Targeted recovery: a clean overlapping release's wake scan reaches
+       the stranded waiter (faults already disarmed by with_plan). *)
+    let h2 = List_rw.write_acquire lock (range 0 10) in
+    List_rw.release lock h2;
+    if not (poll_until (fun () -> Atomic.get woken)) then
+      Alcotest.fail "recovery wake did not unpark the stranded waiter"
+  end;
+  Domain.join waiter;
+  Watchdog.clear ();
+  hung
+
+let test_lost_wakeup_armed () =
+  (* The hang needs the waiter parked before the sabotaged release; a
+     descheduled waiter can legitimately slip through, so retry the
+     schedule a few times (seeded, so each attempt is replayable). *)
+  let rec attempts n =
+    if n = 0 then
+      Alcotest.fail
+        "parker.wake.skip produced no observable hang in 5 attempts"
+    else if not (lost_wakeup_attempt ()) then attempts (n - 1)
+  in
+  attempts 5
+
+let test_lost_wakeup_disarmed () =
+  (* Identical schedule, no injection: the release's wake scan must free
+     the parked waiter promptly and the watchdog must end up empty. *)
+  Watchdog.clear ();
+  Watchdog.set_auto_watch true;
+  let lock = List_rw.create () in
+  Watchdog.set_auto_watch false;
+  let woken = Atomic.make false in
+  let h = List_rw.write_acquire lock (range 0 10) in
+  let waiter =
+    Domain.spawn (fun () ->
+        let h' = List_rw.write_acquire lock (range 0 10) in
+        Atomic.set woken true;
+        List_rw.release lock h')
+  in
+  if not (poll_until (fun () -> Watchdog.scan ~threshold_ns:0 <> [])) then
+    Alcotest.fail "waiter never published its wait";
+  sleep_ms 50;
+  List_rw.release lock h;
+  if not (poll_until (fun () -> Atomic.get woken)) then
+    Alcotest.fail "waiter hung with no fault injected";
+  Domain.join waiter;
+  Alcotest.(check int) "no stuck waiters" 0
+    (List.length (Watchdog.scan ~threshold_ns:0));
+  (* The slow path really parked (spin budget exhausted under a held
+     conflicting range) and the release really woke it. *)
+  let m = List_rw.metrics lock in
+  Alcotest.(check bool) "parked at least once" true (m.parks >= 1);
+  Alcotest.(check bool) "woken at least once" true (m.wakes >= 1);
+  Watchdog.clear ()
+
 (* ---------------- Timed acquisition ---------------- *)
 
 let far_deadline () = Clock.now_ns () + 2_000_000_000
@@ -329,6 +445,10 @@ let () =
       ("watchdog",
        [ Alcotest.test_case "waitboard publish/clear" `Quick
            test_waitboard_publish;
+         Alcotest.test_case "lost wakeup: armed skip hangs a parked waiter"
+           `Quick test_lost_wakeup_armed;
+         Alcotest.test_case "lost wakeup: disarmed run parks and completes"
+           `Quick test_lost_wakeup_disarmed;
          Alcotest.test_case "scan flags a stuck waiter with its range" `Quick
            test_watchdog_scan ]);
       ("timed",

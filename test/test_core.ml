@@ -362,8 +362,8 @@ let random_range rng =
   let lo = min a b and hi = max a b + 1 in
   range lo hi
 
-let mutex_stress ?fast_path ?fairness ~domains ~iters () =
-  let l = List_mutex.create ?fast_path ?fairness () in
+let mutex_stress ?fast_path ?fairness ?park ~domains ~iters () =
+  let l = List_mutex.create ?fast_path ?fairness ?park () in
   let _, violated, enter_excl, leave_excl = make_checker () in
   let barrier = make_barrier domains in
   let ds =
@@ -396,6 +396,12 @@ let test_mutex_stress_fairness () =
 
 let test_mutex_stress_all_options () =
   mutex_stress ~fast_path:true ~fairness:8 ~domains:4 ~iters:2_000 ()
+
+(* Pure-spin mode (PR 5, [~park:false]): blocking waits poll via
+   [Sim.wait_until] and never touch the parking layer — exclusion and
+   drain semantics must be unchanged, and no parks may be recorded. *)
+let test_mutex_stress_spin () =
+  mutex_stress ~park:false ~domains:4 ~iters:2_000 ()
 
 let test_mutex_disjoint_parallelism () =
   (* A holder of [0,10) must not block [10,20): the second acquisition must
@@ -511,8 +517,9 @@ let make_rw_checker () =
   in
   (violated, enter, leave)
 
-let rw_stress ?fast_path ?fairness ?prefer ~domains ~iters ~write_pct () =
-  let l = List_rw.create ?fast_path ?fairness ?prefer () in
+let rw_stress ?fast_path ?fairness ?prefer ?park ~domains ~iters ~write_pct
+    () =
+  let l = List_rw.create ?fast_path ?fairness ?prefer ?park () in
   let violated, enter, leave = make_rw_checker () in
   let barrier = make_barrier domains in
   let ds =
@@ -537,7 +544,9 @@ let rw_stress ?fast_path ?fairness ?prefer ~domains ~iters ~write_pct () =
   Alcotest.(check bool) "no rw violation" false (Atomic.get violated);
   let m = List_rw.metrics l in
   Alcotest.(check int) "all acquisitions happened" (domains * iters)
-    m.Metrics.acquisitions
+    m.Metrics.acquisitions;
+  if park = Some false then
+    Alcotest.(check int) "spin mode never parks" 0 m.Metrics.parks
 
 let test_rw_stress_mixed () = rw_stress ~domains:4 ~iters:2_000 ~write_pct:40 ()
 
@@ -550,6 +559,9 @@ let test_rw_stress_fast_fair () =
 
 let test_rw_stress_writer_pref () =
   rw_stress ~prefer:List_rw.Prefer_writers ~domains:4 ~iters:2_000 ~write_pct:40 ()
+
+let test_rw_stress_spin () =
+  rw_stress ~park:false ~domains:4 ~iters:2_000 ~write_pct:40 ()
 
 let test_rw_stress_writer_pref_read_heavy () =
   rw_stress ~prefer:List_rw.Prefer_writers ~fairness:8 ~domains:4 ~iters:2_000
@@ -809,6 +821,7 @@ let () =
        [ Alcotest.test_case "plain" `Quick test_mutex_stress_plain;
          Alcotest.test_case "fast path" `Quick test_mutex_stress_fast_path;
          Alcotest.test_case "fairness" `Quick test_mutex_stress_fairness;
+         Alcotest.test_case "pure spin" `Quick test_mutex_stress_spin;
          Alcotest.test_case "fast path + fairness" `Quick
            test_mutex_stress_all_options ]);
       ("list-rw",
@@ -822,6 +835,7 @@ let () =
          Alcotest.test_case "read heavy" `Quick test_rw_stress_read_heavy;
          Alcotest.test_case "write only" `Quick test_rw_stress_write_only;
          Alcotest.test_case "fast path + fairness" `Quick test_rw_stress_fast_fair;
+         Alcotest.test_case "pure spin" `Quick test_rw_stress_spin;
          Alcotest.test_case "writer preference" `Quick test_rw_stress_writer_pref;
          Alcotest.test_case "writer preference, read heavy + fairness" `Quick
            test_rw_stress_writer_pref_read_heavy;

@@ -19,6 +19,91 @@ let test_backoff_validation () =
     "Backoff.create: need 0 <= min_log <= max_log")
     (fun () -> ignore (Backoff.create ~min_log:5 ~max_log:2 ()))
 
+(* Regression for the deadline-aware nap (PR 5): once the backoff
+   saturates into sleeping naps, a nap must be clamped to the time left
+   before [deadline_ns]. With an already-expired deadline every nap
+   clamps to zero, so even a thousand saturated iterations finish in far
+   less than a single unclamped 1 µs-floor nap schedule would take. *)
+let test_backoff_deadline_clamp () =
+  let b = Backoff.create ~min_log:0 ~max_log:0 () in
+  (* Saturate immediately: every [once] past max_log wants to nap. *)
+  for _ = 1 to 100 do Backoff.once b done;
+  let deadline_ns = Clock.now_ns () - 1 in
+  let t0 = Clock.now_ns () in
+  for _ = 1 to 1_000 do Backoff.once ~deadline_ns b done;
+  let dt = Clock.elapsed_ns t0 in
+  if dt > 50_000_000 then
+    Alcotest.failf "1000 expired-deadline naps took %d ns (not clamped)" dt;
+  (* And a live deadline is still respected as an upper bound: one nap
+     never sleeps past the budget by more than scheduling noise. *)
+  let deadline_ns = Clock.now_ns () + 2_000_000 in
+  let t0 = Clock.now_ns () in
+  Backoff.once ~deadline_ns b;
+  let dt = Clock.elapsed_ns t0 in
+  if dt > 100_000_000 then
+    Alcotest.failf "clamped nap slept %d ns against a 2 ms budget" dt
+
+(* ---- Parker ---- *)
+
+let test_parker_block_wake () =
+  let flag = Atomic.make false in
+  let slot = Domain_id.get () in
+  let blocked = ref false in
+  (* Self-wake is degenerate; park from a spawned domain and wake it by
+     its slot. *)
+  let d =
+    Domain.spawn (fun () ->
+        let p = Parker.mine () in
+        Parker.block p (fun () -> Atomic.get flag);
+        Domain_id.get ())
+  in
+  Unix.sleepf 0.02;
+  Atomic.set flag true;
+  (* The waiter's slot is whatever its domain got; broadcast every slot —
+     stale wakes must be absorbed as spurious. *)
+  for s = 0 to Domain_id.capacity - 1 do Parker.wake s done;
+  let waiter_slot = Domain.join d in
+  Alcotest.(check bool) "waiter had its own slot" true (waiter_slot <> slot);
+  Alcotest.(check bool) "no deadlock" true (Atomic.get flag);
+  ignore !blocked;
+  (* A ready-predicate that is already true never blocks. *)
+  Parker.block (Parker.mine ()) (fun () -> true)
+
+(* ---- Nshist ---- *)
+
+let test_nshist_buckets () =
+  let h = Nshist.create () in
+  Alcotest.(check int) "empty" 0 (Nshist.total (Nshist.snapshot h));
+  Nshist.add h 0;
+  Nshist.add h 1;
+  Nshist.add h 1024;
+  Nshist.add h 1025;
+  Nshist.add h max_int;
+  let snap = Nshist.snapshot h in
+  Alcotest.(check int) "total" 5 (Nshist.total snap);
+  (* Buckets are (upper_bound_ns, count), ascending, non-zero only. *)
+  let sorted = List.sort compare snap in
+  Alcotest.(check bool) "ascending" true (sorted = snap);
+  Alcotest.(check int) "counts preserved" 5
+    (List.fold_left (fun a (_, c) -> a + c) 0 snap);
+  List.iter
+    (fun (ub, _) -> Alcotest.(check bool) "power of two" true
+        (ub land (ub - 1) = 0))
+    snap;
+  let json = Nshist.to_json snap in
+  Alcotest.(check bool) "json object" true
+    (String.length json >= 2 && json.[0] = '{');
+  Nshist.reset h;
+  Alcotest.(check int) "reset" 0 (Nshist.total (Nshist.snapshot h))
+
+let test_nshist_cross_domain () =
+  let h = Nshist.create () in
+  join_all
+    (spawn_n 4 (fun i ->
+         for _ = 1 to 100 do Nshist.add h (1 lsl (i + 4)) done));
+  Alcotest.(check int) "per-slot strides sum" 400
+    (Nshist.total (Nshist.snapshot h))
+
 (* ---- Prng ---- *)
 
 let test_prng_deterministic () =
@@ -319,7 +404,14 @@ let () =
   Alcotest.run "primitives"
     [ ("backoff",
        [ Alcotest.test_case "escalates and counts" `Quick test_backoff_escalates;
-         Alcotest.test_case "validates arguments" `Quick test_backoff_validation ]);
+         Alcotest.test_case "validates arguments" `Quick test_backoff_validation;
+         Alcotest.test_case "deadline clamps saturated naps" `Quick
+           test_backoff_deadline_clamp ]);
+      ("parker",
+       [ Alcotest.test_case "block until woken" `Quick test_parker_block_wake ]);
+      ("nshist",
+       [ Alcotest.test_case "log2 buckets" `Quick test_nshist_buckets;
+         Alcotest.test_case "cross-domain sum" `Quick test_nshist_cross_domain ]);
       ("prng",
        [ Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
          Alcotest.test_case "bounds respected" `Quick test_prng_bounds;
