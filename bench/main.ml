@@ -798,6 +798,143 @@ let gate ~baseline measured =
     exit 1
   end
 
+(* ---------------- Long-list regime (--longlist) ---------------- *)
+
+(* The asymptotic claim of the skip-index core: with N live disjoint
+   ranges resident, list-rw pays an O(N) head-to-position scan per
+   acquisition while skip-rw descends its tower index in O(log N). One
+   round pins N disjoint readers [4i, 4i+2) — acquired in descending lo
+   order so the list-rw setup itself inserts at the head in O(1) — then
+   4 writer domains hammer random gap slots [4i+2, 4i+3), which never
+   conflict with the holders, so every operation is a pure
+   traverse+insert+validate. *)
+let longlist_round (module L : Rlk.Intf.RW) ~n ~duration_s =
+  let module Prng = Rlk_primitives.Prng in
+  let module Clock = Rlk_primitives.Clock in
+  let lock = L.create () in
+  let holders =
+    List.init n (fun j ->
+        let i = n - 1 - j in
+        L.read_acquire lock (Rlk.Range.v ~lo:(4 * i) ~hi:((4 * i) + 2)))
+  in
+  let workers = 4 in
+  let stop = Atomic.make false in
+  let t0 = Clock.now_ns () in
+  let ds =
+    Array.init workers (fun id ->
+        Domain.spawn (fun () ->
+            let rng = Prng.create ~seed:(0x717 + id) in
+            let c = ref 0 in
+            while not (Atomic.get stop) do
+              let i = Prng.below rng n in
+              let r = Rlk.Range.v ~lo:((4 * i) + 2) ~hi:((4 * i) + 3) in
+              let h = L.write_acquire lock r in
+              L.release lock h;
+              incr c
+            done;
+            !c))
+  in
+  Unix.sleepf duration_s;
+  Atomic.set stop true;
+  let total = Array.fold_left (fun a d -> a + Domain.join d) 0 ds in
+  let dt = float_of_int (Clock.now_ns () - t0) /. 1e9 in
+  List.iter (fun h -> L.release lock h) holders;
+  float_of_int total /. dt
+
+(* Paired rounds: within each round skip-rw and list-rw run back-to-back
+   after a shared compaction, and the ratio is computed per round before
+   taking the median — common-mode host noise cancels out of the ratio
+   (same rationale as the smoke pass). Returns the median throughputs
+   and the median paired ratio. *)
+let longlist_pair ~n ~reps ~duration_s =
+  let skip = List.assoc "skip-rw" Locks.arrbench_locks in
+  let list = List.assoc "list-rw" Locks.arrbench_locks in
+  let med l =
+    match List.sort compare l with
+    | [] -> 0.
+    | sorted -> List.nth sorted (List.length sorted / 2)
+  in
+  let skips = ref [] and lists = ref [] and ratios = ref [] in
+  for _ = 1 to reps do
+    Gc.compact ();
+    let s = longlist_round skip ~n ~duration_s in
+    Gc.compact ();
+    let l = longlist_round list ~n ~duration_s in
+    skips := s :: !skips;
+    lists := l :: !lists;
+    if l > 0. then ratios := (s /. l) :: !ratios
+  done;
+  (med !skips, med !lists, med !ratios)
+
+(* Full sweep over N (the BENCH_pr7.json artifact with --json). *)
+let longlist cfg =
+  let ns = [ 32; 100; 316; 1_000; 3_162; 10_000 ] in
+  let reps = max cfg.reps 3 in
+  let duration_s = Float.max (cfg.duration_s /. 2.) 0.15 in
+  say
+    "-- Long-list: N resident disjoint readers, 4 writer domains on gap \
+     slots --";
+  say "   %d x %.2fs per (lock, N); median paired skip/list ratio" reps
+    duration_s;
+  let rows =
+    List.map
+      (fun n ->
+         let s, l, r = longlist_pair ~n ~reps ~duration_s in
+         say
+           "   N=%-6d skip-rw %11.0f ops/sec | list-rw %11.0f ops/sec | \
+            ratio %6.2fx"
+           n s l r;
+         (n, s, l, r))
+      ns
+  in
+  (match !json_path with
+   | None -> ()
+   | Some path ->
+     let row_json =
+       List.map
+         (fun (n, s, l, r) ->
+            Printf.sprintf
+              "    {\"n\":%d,\"skip_rw_ops_per_sec\":%.0f,\
+               \"list_rw_ops_per_sec\":%.0f,\"ratio\":%.3f}"
+              n s l r)
+         rows
+     in
+     let ratio_fields =
+       List.map
+         (fun (n, _, _, r) -> Printf.sprintf "\"n_%d\": %.3f" n r)
+         rows
+     in
+     let doc =
+       Printf.sprintf
+         "{\n\
+         \  \"suite\": \"longlist-sweep\",\n\
+         \  \"writer_domains\": 4,\n\
+         \  \"reps\": %d,\n\
+         \  \"duration_s\": %.2f,\n\
+         \  \"results\": [\n%s\n  ],\n\
+         \  \"ratio_skip_over_list\": {%s}\n\
+          }\n"
+         reps duration_s
+         (String.concat ",\n" row_json)
+         (String.concat ", " ratio_fields)
+     in
+     (match path with
+      | "-" -> print_string doc
+      | file ->
+        let oc = open_out file in
+        output_string oc doc;
+        close_out oc;
+        say "longlist JSON written to %s" file);
+     (* The lock-health pass would otherwise overwrite the file. *)
+     json_path := None);
+  (* The sweep is also a correctness gate: losing to the O(N) scan at
+     N=10^4 disjoint resident ranges means the index is not indexing. *)
+  (match List.find_opt (fun (n, _, _, _) -> n = 10_000) rows with
+   | Some (_, _, _, r) when r <= 1.0 ->
+     say "   longlist: skip-rw/list-rw %.2fx at N=10000 (<= 1.0): REGRESSED" r;
+     exit 1
+   | _ -> ())
+
 (* ---------------- Smoke pass (--smoke) ---------------- *)
 
 (* CI-sized pass: the three ArrBench cells that bracket the sharded
@@ -896,6 +1033,17 @@ let smoke cfg =
     "   list-rw park/spin (median paired ratio): disjoint/100 %.2fx, \
      full/100 %.2fx, random/60 %.2fx"
     (pratio "disjoint/100") (pratio "full/100") (pratio "random/60");
+  (* Long-list cell: the skip-index asymptotic claim at N=10^4 resident
+     disjoint ranges, gated absolutely — skip-rw losing to the O(N) list
+     scan here is a correctness-of-purpose failure, not noise. *)
+  let ll_n = 10_000 in
+  let ll_skip, ll_list, ll_ratio =
+    longlist_pair ~n:ll_n ~reps ~duration_s:(Float.min duration_s 0.2)
+  in
+  say
+    "   longlist N=%d: skip-rw %.0f ops/sec, list-rw %.0f ops/sec, median \
+     paired ratio %.2fx"
+    ll_n ll_skip ll_list ll_ratio;
   (match !json_path with
    | None -> ()
    | Some path ->
@@ -916,12 +1064,14 @@ let smoke cfg =
          \  \"ratio_shard_over_list\": {\"disjoint_100\": %.3f, \"full_100\": \
           %.3f, \"random_60\": %.3f},\n\
          \  \"ratio_park_over_spin\": {\"disjoint_100\": %.3f, \"full_100\": \
-          %.3f, \"random_60\": %.3f}\n\
+          %.3f, \"random_60\": %.3f},\n\
+         \  \"ratio_skip_over_list\": {\"longlist_10000\": %.3f}\n\
           }\n"
          threads duration_s
          (String.concat ",\n" rows)
          (ratio "disjoint/100") (ratio "full/100") (ratio "random/60")
          (pratio "disjoint/100") (pratio "full/100") (pratio "random/60")
+         ll_ratio
      in
      (match path with
       | "-" -> print_string doc
@@ -932,19 +1082,30 @@ let smoke cfg =
         say "smoke JSON written to %s" file);
      (* The lock-health pass would otherwise overwrite the file. *)
      json_path := None);
+  (* Absolute gate, independent of any baseline file: the skip index must
+     beat the list scan outright at N=10^4 disjoint resident ranges. *)
+  if ll_ratio <= 1.0 then begin
+    say "   longlist gate: skip-rw/list-rw %.2f at N=%d (<= 1.0): REGRESSED"
+      ll_ratio ll_n;
+    exit 1
+  end
+  else
+    say "   longlist gate: skip-rw/list-rw %.2fx at N=%d (> 1.0): ok" ll_ratio
+      ll_n;
   (match !gate_path with
    | None -> ()
    | Some file ->
      gate ~baseline:file
-       [ ("full_100", ratio "full/100"); ("random_60", ratio "random/60") ]);
+       [ ("full_100", ratio "full/100"); ("random_60", ratio "random/60");
+         ("longlist_10000", ll_ratio) ]);
   verify cfg
 
 (* ---------------- driver ---------------- *)
 
 let all_figures = [ 3; 4; 5; 6; 7; 8 ]
 
-let run figures quick bechamel_only ablation_only verify_only smoke_only csv
-    json gate =
+let run figures quick bechamel_only ablation_only verify_only smoke_only
+    longlist_only csv json gate =
   Runner.init ();
   gate_path := gate;
   (match csv with
@@ -964,6 +1125,7 @@ let run figures quick bechamel_only ablation_only verify_only smoke_only csv
   say "ordering (the paper's 'shape') is the signal, not absolute numbers.";
   say "";
   if smoke_only then smoke cfg
+  else if longlist_only then longlist cfg
   else if verify_only then verify cfg
   else if bechamel_only then run_bechamel ()
   else if ablation_only then ablation cfg
@@ -1026,6 +1188,16 @@ let smoke_arg =
            segment and shard locks (written as JSON with --json), then the \
            full verification pass; exits non-zero on any violation.")
 
+let longlist_arg =
+  Arg.(
+    value & flag
+    & info [ "longlist" ]
+        ~doc:
+          "Only run the long-list regime: N resident disjoint ranges (N up \
+           to 10000), 4 writer domains on gap slots, skip-rw vs list-rw \
+           paired ratios (written as JSON with --json, the BENCH_pr7.json \
+           artifact); exits non-zero if skip-rw loses at N=10000.")
+
 let csv_arg =
   Arg.(value & opt (some string) None & info [ "csv" ]
          ~doc:"Also write every series to CSV files in this directory.")
@@ -1048,7 +1220,7 @@ let cmd =
   let term =
     Term.(
       const run $ figures_arg $ quick_arg $ bechamel_arg $ ablation_arg
-      $ verify_arg $ smoke_arg $ csv_arg $ json_arg $ gate_arg)
+      $ verify_arg $ smoke_arg $ longlist_arg $ csv_arg $ json_arg $ gate_arg)
   in
   Cmd.v
     (Cmd.info "bench"

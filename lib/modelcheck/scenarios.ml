@@ -366,10 +366,118 @@ let park_unpark =
       in
       { Explore.fibers = [| body 0 2; body 1 3 |]; check = oracle_check r })
 
+(* ---- skip-index core (PR 7) ------------------------------------------ *)
+
+(* The skip-index stack over the recording runtime: two levels with a
+   constant height of 2, so *every* grant links a tower entry and every
+   release unlinks one — the guard-serialized tower maintenance
+   interleaves with the bottom insert/validate protocol on every
+   schedule, not just on lucky coin flips. *)
+module Skip_stack
+    (Cfg : sig
+       val pool_target : int
+     end)
+    () =
+struct
+  module E = Rlk_ebr.Epoch_core.Make (Sched.Sim)
+  module P = Rlk_ebr.Pool_core.Make (Sched.Sim) (E)
+
+  module SK =
+    Rlk_index.Skip_rw_core.Make (Sched.Sim) (E) (P)
+      (struct
+        let max_level = 2
+
+        let pool_target = Cfg.pool_target
+
+        let height () = 2
+      end)
+      ()
+end
+
+(* The same insert/validate race as [rw-validate-race], through the
+   skip-index core: the writer's window-bounded w_validate rescan is the
+   only thing repairing a reader that linked behind its back, so arming
+   [skip_rw.w_validate.skip] must produce an overlap counterexample here
+   (the skip mutation self-test), and pristine code must explore clean. *)
+let skip_validate_race_build () =
+  let module S = Skip_stack (struct let pool_target = 4 end) () in
+  let lock = S.SK.create () in
+  (* Structural holder, as in rw-validate-race: forces real traversals
+     and a populated tower. Not recorded. *)
+  let _pre = S.SK.read_acquire lock (range 1 2) in
+  let r = recorder () in
+  let reader () =
+    let h = S.SK.read_acquire lock (range 0 4) in
+    let span = acquired r ~lock:"sk" ~mode:Lockstat.Read ~lo:0 ~hi:4 in
+    Sched.note "reader holds [0,4)";
+    Sched.pause ();
+    released r ~lock:"sk" ~mode:Lockstat.Read ~span ~lo:0 ~hi:4;
+    S.SK.release lock h
+  in
+  let writer () =
+    let h = S.SK.write_acquire lock (range 3 5) in
+    let span = acquired r ~lock:"sk" ~mode:Lockstat.Write ~lo:3 ~hi:5 in
+    Sched.note "writer holds [3,5)";
+    Sched.pause ();
+    released r ~lock:"sk" ~mode:Lockstat.Write ~span ~lo:3 ~hi:5;
+    S.SK.release lock h
+  in
+  { Explore.fibers = [| reader; writer |]; check = oracle_check r }
+
+let skip_validate_race =
+  scenario "skip-validate-race" ~bound:2 ~max_steps:40_000 (fun () ->
+      skip_validate_race_build ())
+
+(* Parking hand-off through the skip core: two overlapping writers, so
+   the loser parks on the winner's node and the winner's release runs
+   tower unlink -> mark -> wake-overlap. A lost wake (the
+   [parker.wake.skip] mutation) shows up as a deadlock. *)
+let skip_park =
+  scenario "skip-park" ~bound:2 ~max_steps:40_000 (fun () ->
+      let module S = Skip_stack (struct let pool_target = 4 end) () in
+      let lock = S.SK.create () in
+      let r = recorder () in
+      let body lo hi () =
+        let h = S.SK.write_acquire lock (range lo hi) in
+        let span = acquired r ~lock:"sk" ~mode:Lockstat.Write ~lo ~hi in
+        Sched.note (Printf.sprintf "writer holds [%d,%d)" lo hi);
+        Sched.pause ();
+        released r ~lock:"sk" ~mode:Lockstat.Write ~span ~lo ~hi;
+        S.SK.release lock h
+      in
+      { Explore.fibers = [| body 0 2; body 1 3 |]; check = oracle_check r })
+
+(* Tower-node recycling under a starved pool (target 1): each refill's
+   try_barrier races the other fiber's tower descent — the EBR grace
+   period now also protects multi-level unlinks. *)
+let skip_recycle =
+  scenario "skip-recycle" ~bound:2 ~max_steps:60_000 ~full_only:true
+    (fun () ->
+      let module S = Skip_stack (struct let pool_target = 1 end) () in
+      let lock = S.SK.create () in
+      let r = recorder () in
+      let churner () =
+        let h1 = S.SK.write_acquire lock (range 0 1) in
+        let s1 = acquired r ~lock:"sk" ~mode:Lockstat.Write ~lo:0 ~hi:1 in
+        let h2 = S.SK.write_acquire lock (range 2 3) in
+        let s2 = acquired r ~lock:"sk" ~mode:Lockstat.Write ~lo:2 ~hi:3 in
+        released r ~lock:"sk" ~mode:Lockstat.Write ~span:s1 ~lo:0 ~hi:1;
+        S.SK.release lock h1;
+        released r ~lock:"sk" ~mode:Lockstat.Write ~span:s2 ~lo:2 ~hi:3;
+        S.SK.release lock h2
+      in
+      let contender () =
+        let h = S.SK.write_acquire lock (range 0 1) in
+        let span = acquired r ~lock:"sk" ~mode:Lockstat.Write ~lo:0 ~hi:1 in
+        released r ~lock:"sk" ~mode:Lockstat.Write ~span ~lo:0 ~hi:1;
+        S.SK.release lock h
+      in
+      { Explore.fibers = [| churner; contender |]; check = oracle_check r })
+
 let all =
   [ mutex_overlap; mutex_fastpath; mutex_try; mutex_3dom; rw_validate_race;
     rw_writer_pref; rw_fastpath; ebr_recycle; fairgate_escalate;
-    rwlock_basic; park_unpark ]
+    rwlock_basic; park_unpark; skip_validate_race; skip_park; skip_recycle ]
 
 (* The scenario the mutation self-test arms [list_rw.w_validate.skip]
    against: with the skip armed the explorer must produce an overlap
@@ -380,6 +488,11 @@ let mutation_target = rw_validate_race
    explorer must find a schedule where a parked waiter is never
    re-enabled (a deadlock); pristine code must come back clean. *)
 let parker_mutation_target = park_unpark
+
+(* And for [skip_rw.w_validate.skip] on the tower-indexed core: the
+   window-bounded writer rescan is the last line of defence against a
+   reader that linked behind the writer's back. *)
+let skip_mutation_target = skip_validate_race
 
 let run t =
   Explore.explore ~bound:t.bound ~max_steps:t.max_steps t.scen

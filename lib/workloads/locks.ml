@@ -49,10 +49,20 @@ module List_rw_spin : Rlk.Intf.RW = struct
   let create ?stats () = Rlk.List_rw.create ?stats ~park:false ()
 end
 
+(* PR 7: the skip-index core — same grant semantics as list-rw, with the
+   live ranges tower-indexed so conflict-window location is O(log n) in
+   the number of held ranges (the long-list bench regime measures it). *)
+module Skip_rw_impl : Rlk.Intf.RW = struct
+  include Rlk_index.Skip_rw
+
+  let create ?stats () = Rlk_index.Skip_rw.create ?stats ()
+end
+
 let arrbench_locks : (string * Rlk.Intf.rw_impl) list =
   [ ("list-ex", (module List_ex_rw));
     ("list-rw", (module Rlk.Intf.List_rw_impl));
     ("list-rw-spin", (module List_rw_spin));
+    ("skip-rw", (module Skip_rw_impl));
     ("lustre-ex", (module Lustre_rw));
     ("kernel-rw", (module Kernel_rw));
     ("pnova-rw", Rlk_baselines.Segment_rw.impl ~segments:256 ~segment_size:1);

@@ -2,7 +2,7 @@
     first-class modules, for the benchmarks and CLIs. *)
 
 val arrbench_locks : (string * Rlk.Intf.rw_impl) list
-(** [list-ex], [list-rw], [lustre-ex], [kernel-rw], [pnova-rw] — the five
+(** [list-ex], [list-rw], [skip-rw], [lustre-ex], [kernel-rw], [pnova-rw] — the five
     user-space variants of the paper's Figure 3 (exclusive-only locks are
     adapted so "read" acquisitions take the range exclusively, exactly the
     handicap they have in the paper). [pnova-rw] is configured with 256

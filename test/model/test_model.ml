@@ -159,6 +159,68 @@ let parker_mutation () =
   | Explore.Fail v ->
     Alcotest.fail (record_counterexample (t.scen.name ^ " (clean)") v)
 
+(* Third mutation, against the skip-index core (PR 7): disable the
+   window-bounded writer validation on the tower path. The explorer must
+   produce a minimized, replayable overlap counterexample on the
+   skip-validate-race scenario, and pristine code must explore clean. *)
+let skip_mutation () =
+  let t = Scenarios.skip_mutation_target in
+  Fault.arm
+    (Fault.plan ~p:1.0 ~cas_fail_p:0.0 ~relax_spins:0 ~yield_every:0
+       ~delay_ns:0
+       ~unsound:[ "skip_rw.w_validate.skip" ]
+       ~only:[ "skip_rw.w_validate" ] ~seed:707 ());
+  let v =
+    Fun.protect ~finally:Fault.disarm (fun () ->
+        match Scenarios.run t with
+        | Explore.Pass { executions } ->
+          Alcotest.failf
+            "skip_rw w_validate disabled but %d explored schedules all \
+             passed —\n\
+             the checker is not observing the tower-path validation race"
+            executions
+        | Explore.Fail v ->
+          (match v.kind with
+          | Explore.Check _ -> ()
+          | k ->
+            Alcotest.failf "expected an oracle overlap, got: %s"
+              (Format.asprintf "%a" Explore.pp_failure_kind k));
+          Printf.printf
+            "skip mutation counterexample found after %d schedule(s) \
+             (expected):\n\
+             %s\n\
+             %!"
+            v.executions
+            (Explore.violation_to_string t.scen.name v);
+          (match v.seed with
+          | Some seed -> (
+            match Explore.replay ~max_steps:t.max_steps t.scen ~seed with
+            | Explore.Fail { kind = Explore.Check _; _ } -> ()
+            | Explore.Fail { kind; _ } ->
+              Alcotest.failf "seed %d replayed to a different failure: %s"
+                seed
+                (Format.asprintf "%a" Explore.pp_failure_kind kind)
+            | Explore.Pass _ ->
+              Alcotest.failf "seed %d did not reproduce the counterexample"
+                seed)
+          | None -> (
+            match
+              Explore.run_deviations ~max_steps:t.max_steps t.scen
+                v.deviations
+            with
+            | Some (Explore.Check _) -> ()
+            | _ ->
+              Alcotest.fail
+                "deviation list did not reproduce the counterexample"));
+          v)
+  in
+  ignore v;
+  (* Pristine code: the same exploration must be violation-free. *)
+  match Scenarios.run t with
+  | Explore.Pass _ -> ()
+  | Explore.Fail v ->
+    Alcotest.fail (record_counterexample (t.scen.name ^ " (clean)") v)
+
 let () =
   let scens =
     List.filter (fun t -> full || not t.Scenarios.full_only) Scenarios.all
@@ -177,4 +239,6 @@ let () =
       ( "mutation",
         [ Alcotest.test_case "w_validate-skip counterexample" `Quick mutation;
           Alcotest.test_case "parker-wake-skip counterexample" `Quick
-            parker_mutation ] ) ]
+            parker_mutation;
+          Alcotest.test_case "skip-rw w_validate-skip counterexample" `Quick
+            skip_mutation ] ) ]

@@ -295,6 +295,7 @@ let conformance_impls : (string * Intf.rw_impl * bool * bool * bool) list =
     | None -> Alcotest.failf "unknown arrbench lock %s" name
   in
   [ ("list-rw", arr "list-rw", true, true, true);
+    ("skip-rw", arr "skip-rw", true, true, true);
     ("list-ex", arr "list-ex", true, false, true);
     ("lustre-ex", arr "lustre-ex", true, false, true);
     ("kernel-rw", arr "kernel-rw", true, true, true);

@@ -1,8 +1,14 @@
 open Rlk_skiplist
 
+(* The sharded-lock-backed variant lives in the workloads registry. *)
+let range_shard : Skiplist_intf.set_impl =
+  match Rlk_workloads.Locks.find_skiplist_set "range-shard" with
+  | Some impl -> impl
+  | None -> failwith "range-shard not in the skiplist registry"
+
 let impls : Skiplist_intf.set_impl list =
   [ (module Optimistic); (module Range_skiplist.Over_list);
-    (module Range_skiplist.Over_lustre) ]
+    (module Range_skiplist.Over_lustre); range_shard ]
 
 let for_each_impl f =
   List.concat_map
@@ -98,7 +104,10 @@ let stress_shared (module S : Skiplist_intf.SET) ~domains ~iters ~keyspace () =
   let barrier = Stress_helpers.make_barrier domains in
   let ds =
     Stress_helpers.spawn_n domains (fun id ->
-        let rng = Rlk_primitives.Prng.create ~seed:(id * 7 + 1234) in
+        let rng =
+          Rlk_primitives.Prng.create
+            ~seed:(Stress_helpers.domain_seed ~salt:7919 id)
+        in
         barrier ();
         for _ = 1 to iters do
           let k = Rlk_primitives.Prng.below rng keyspace in
@@ -134,7 +143,10 @@ let stress_disjoint (module S : Skiplist_intf.SET) ~domains ~iters ~keys_per_dom
   let barrier = Stress_helpers.make_barrier domains in
   let ds =
     Stress_helpers.spawn_n domains (fun id ->
-        let rng = Rlk_primitives.Prng.create ~seed:(id * 11 + 99) in
+        let rng =
+          Rlk_primitives.Prng.create
+            ~seed:(Stress_helpers.domain_seed ~salt:15485863 id)
+        in
         (* Interleave domains' keys so neighbouring list nodes belong to
            different domains (maximal structural contention). *)
         let key i = (i * domains) + id in
@@ -170,7 +182,9 @@ let stress_tests impl =
 let synchrobench_shape (module S : Skiplist_intf.SET) () =
   let s = S.create () in
   let keyspace = 8_192 in
-  let rng = Rlk_primitives.Prng.create ~seed:99 in
+  let rng =
+    Rlk_primitives.Prng.create ~seed:(Stress_helpers.base_seed lxor 99)
+  in
   let target = keyspace / 2 in
   let filled = ref 0 in
   while !filled < target do
@@ -178,7 +192,10 @@ let synchrobench_shape (module S : Skiplist_intf.SET) () =
   done;
   let ds =
     Stress_helpers.spawn_n 4 (fun id ->
-        let rng = Rlk_primitives.Prng.create ~seed:(id + 5) in
+        let rng =
+          Rlk_primitives.Prng.create
+            ~seed:(Stress_helpers.domain_seed ~salt:104723 id)
+        in
         for _ = 1 to 5_000 do
           let k = Rlk_primitives.Prng.below rng keyspace in
           let pct = Rlk_primitives.Prng.below rng 100 in
@@ -193,8 +210,15 @@ let synchrobench_shape (module S : Skiplist_intf.SET) () =
   | Error m -> Alcotest.failf "invariant: %s" m
 
 let () =
+  (* Seeded via RLK_SEED (Stress_helpers prints the effective seed at
+     startup), so qcheck failures and stress schedules replay alike. *)
   let qtests =
-    List.map (fun impl -> QCheck_alcotest.to_alcotest ~long:false (oracle_prop impl)) impls
+    List.map
+      (fun impl ->
+        QCheck_alcotest.to_alcotest
+          ~rand:(Stress_helpers.qcheck_rand ())
+          ~long:false (oracle_prop impl))
+      impls
   in
   Alcotest.run "skiplist"
     [ ("sequential",

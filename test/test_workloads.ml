@@ -71,10 +71,12 @@ let test_series_validates () =
 (* ---------------- Locks registry ---------------- *)
 
 let test_lock_registry () =
-  Alcotest.(check int) "seven arrbench locks" 7
+  Alcotest.(check int) "eight arrbench locks" 8
     (List.length Locks.arrbench_locks);
   Alcotest.(check bool) "spin ablation registered" true
     (Locks.find_arrbench_lock "list-rw-spin" <> None);
+  Alcotest.(check bool) "skip index registered" true
+    (Locks.find_arrbench_lock "skip-rw" <> None);
   Alcotest.(check bool) "shard lookup hit" true
     (Locks.find_arrbench_lock "shard-rw" <> None);
   Alcotest.(check bool) "lookup hit" true (Locks.find_arrbench_lock "list-rw" <> None);
