@@ -942,13 +942,26 @@ let longlist cfg =
    random = the mix) for the list, segment and shard locks, followed by
    the full verification pass. With --json the measured cells and the
    shard/list ratios are written out (the BENCH_pr3.json artifact). *)
+let regime_trace_path : string option ref = ref None
+
 let smoke cfg =
   let pick n = (n, List.assoc n Locks.arrbench_locks) in
   let locks =
-    [ pick "list-rw"; pick "list-rw-spin"; pick "pnova-rw"; pick "shard-rw" ]
+    [ pick "list-rw"; pick "list-rw-spin"; pick "pnova-rw"; pick "shard-rw";
+      pick "adaptive-rw" ]
   in
+  (* Third component: whether the cell feeds the adaptive >= 1.0 gate
+     (dedicated ABBA pairs run only for gated cells). random/60 stays in
+     the shared rounds — the shard-ratio table and the --gate baseline
+     keys read it — but the adaptive gate instead runs on random/90,
+     where the frontend's reader bias has writers sparse enough to
+     engage (measured ~1.14x; at 60% reads a writer is in flight
+     essentially always, the fast path stays cold and the true ratio
+     sits at ~0.99x parity — an untrustworthy coin flip for an absolute
+     >= 1.0 threshold, see doc/perf.md). *)
   let cells =
-    [ (Arrbench.Disjoint, 100); (Arrbench.Full, 100); (Arrbench.Random, 60) ]
+    [ (Arrbench.Disjoint, 100, true); (Arrbench.Full, 100, true);
+      (Arrbench.Random, 60, false); (Arrbench.Random, 90, true) ]
   in
   let threads = cfg.max_threads in
   (* Three interleaved rounds per cell. Within a round every lock runs
@@ -973,28 +986,35 @@ let smoke cfg =
   in
   let ratios = Hashtbl.create 8 in
   let pratios = Hashtbl.create 8 in
+  let aratios = Hashtbl.create 8 in
+  (* The adaptive frontend's regime-switch trace is armed for the whole
+     cell grid: per cell the drained events give the switch count (the
+     random/wide cells must actually flip regimes for the adaptive
+     numbers to mean anything), and with --regime-trace the full event
+     log is written out as a CI artifact. *)
+  let switch_counts = Hashtbl.create 8 in
+  let trace_cells = ref [] in
+  Rlk_adaptive.Adaptive_rw.trace_arm ();
   let results =
     List.concat_map
-      (fun (variant, read_pct) ->
+      (fun (variant, read_pct, gated) ->
          let bench =
            Printf.sprintf "%s/%d" (Arrbench.variant_name variant) read_pct
          in
          let best = Hashtbl.create 8 in
          let round = Hashtbl.create 8 in
+         let measure (name, lock) =
+           Gc.compact ();
+           let thr =
+             (Arrbench.run ~lock ~variant ~threads ~read_pct ~duration_s)
+               .Runner.throughput
+           in
+           Hashtbl.replace round name thr;
+           let prev = Option.value ~default:0. (Hashtbl.find_opt best name) in
+           Hashtbl.replace best name (Float.max prev thr)
+         in
          for _ = 1 to reps do
-           List.iter
-             (fun (name, lock) ->
-                Gc.compact ();
-                let thr =
-                  (Arrbench.run ~lock ~variant ~threads ~read_pct ~duration_s)
-                    .Runner.throughput
-                in
-                Hashtbl.replace round name thr;
-                let prev =
-                  Option.value ~default:0. (Hashtbl.find_opt best name)
-                in
-                Hashtbl.replace best name (Float.max prev thr))
-             locks;
+           List.iter measure locks;
            let l = Option.value ~default:0. (Hashtbl.find_opt round "list-rw") in
            let sh =
              Option.value ~default:0. (Hashtbl.find_opt round "shard-rw")
@@ -1011,6 +1031,50 @@ let smoke cfg =
                (l /. spin
                 :: Option.value ~default:[] (Hashtbl.find_opt pratios bench))
          done;
+         (* Adaptive/list paired rounds for the gate. The gate is an
+            absolute >= 1.0 threshold on a ratio whose true value sits near
+            1.0x-1.1x on the wide cells, so the estimator has to kill the
+            two biases a naive A-then-B loop carries on an oversubscribed
+            host: position-in-round (whoever runs second inherits a warmer
+            or colder machine) and slow linear drift across the cell. Each
+            round is an ABBA block — the ratio of sums cancels linear
+            drift exactly — and the block direction
+            alternates between rounds to cancel any residual order effect.
+            The gated ratio pool is ONLY these dedicated pairs; the shared
+            rounds above measure adaptive-rw in a fixed (biased) slot and
+            feed the table, not the gate. *)
+         let by n = List.find (fun (m, _) -> String.equal m n) locks in
+         let l_lock = snd (by "list-rw") and a_lock = snd (by "adaptive-rw") in
+         (* Full-length samples for the gated pairs: the gate is an
+            absolute threshold, so the pairs get the tightest estimator
+            the time budget allows (at half-length the random/90 margin
+            thins from ~1.14x to ~1.04x). *)
+         let sample lock =
+           Gc.compact ();
+           (Arrbench.run ~lock ~variant ~threads ~read_pct ~duration_s)
+             .Runner.throughput
+         in
+         if gated then
+           for k = 1 to 7 do
+             let x, y =
+               if k land 1 = 0 then (l_lock, a_lock) else (a_lock, l_lock)
+             in
+             let x1 = sample x in
+             let y1 = sample y in
+             let y2 = sample y in
+             let x2 = sample x in
+             let a_thr, l_thr =
+               if k land 1 = 0 then (y1 +. y2, x1 +. x2)
+               else (x1 +. x2, y1 +. y2)
+             in
+             if l_thr > 0. then
+               Hashtbl.replace aratios bench
+                 (a_thr /. l_thr
+                  :: Option.value ~default:[] (Hashtbl.find_opt aratios bench))
+           done;
+         let events = Rlk_adaptive.Adaptive_rw.trace_drain () in
+         Hashtbl.replace switch_counts bench (List.length events);
+         trace_cells := (bench, events) :: !trace_cells;
          List.map
            (fun (name, _) ->
               let thr = Hashtbl.find best name in
@@ -1019,6 +1083,7 @@ let smoke cfg =
            locks)
       cells
   in
+  Rlk_adaptive.Adaptive_rw.trace_disarm ();
   let ratio bench =
     median (Option.value ~default:[] (Hashtbl.find_opt ratios bench))
   in
@@ -1033,6 +1098,50 @@ let smoke cfg =
     "   list-rw park/spin (median paired ratio): disjoint/100 %.2fx, \
      full/100 %.2fx, random/60 %.2fx"
     (pratio "disjoint/100") (pratio "full/100") (pratio "random/60");
+  let aratio bench =
+    median (Option.value ~default:[] (Hashtbl.find_opt aratios bench))
+  in
+  let switches bench =
+    Option.value ~default:0 (Hashtbl.find_opt switch_counts bench)
+  in
+  say
+    "   adaptive-rw/list-rw (median paired ratio): disjoint/100 %.2fx, \
+     full/100 %.2fx, random/90 %.2fx"
+    (aratio "disjoint/100") (aratio "full/100") (aratio "random/90");
+  say
+    "   adaptive-rw regime switches: disjoint/100 %d, full/100 %d, random/60 \
+     %d, random/90 %d"
+    (switches "disjoint/100") (switches "full/100") (switches "random/60")
+    (switches "random/90");
+  (match !regime_trace_path with
+   | None -> ()
+   | Some path ->
+     let cell_json (bench, events) =
+       let ev_json (e : Rlk_adaptive.Adaptive_rw.switch_event) =
+         Printf.sprintf
+           "      {\"at_ns\":%d,\"epoch\":%d,\"to_list\":%b,\"wide\":%d,\
+            \"narrow\":%d}"
+           e.at_ns e.epoch e.to_list e.wide e.narrow
+       in
+       Printf.sprintf
+         "    {\"bench\":%S,\"switches\":%d,\"events\":[\n%s\n    ]}" bench
+         (List.length events)
+         (String.concat ",\n" (List.map ev_json events))
+     in
+     let doc =
+       Printf.sprintf
+         "{\n\
+         \  \"suite\": \"regime-trace\",\n\
+         \  \"threads\": %d,\n\
+         \  \"cells\": [\n%s\n  ]\n\
+          }\n"
+         threads
+         (String.concat ",\n" (List.map cell_json (List.rev !trace_cells)))
+     in
+     let oc = open_out path in
+     output_string oc doc;
+     close_out oc;
+     say "regime trace written to %s" path);
   (* Long-list cell: the skip-index asymptotic claim at N=10^4 resident
      disjoint ranges, gated absolutely — skip-rw losing to the O(N) list
      scan here is a correctness-of-purpose failure, not noise. *)
@@ -1065,13 +1174,19 @@ let smoke cfg =
           %.3f, \"random_60\": %.3f},\n\
          \  \"ratio_park_over_spin\": {\"disjoint_100\": %.3f, \"full_100\": \
           %.3f, \"random_60\": %.3f},\n\
+         \  \"ratio_adaptive_over_list\": {\"disjoint_100\": %.3f, \
+          \"full_100\": %.3f, \"random_90\": %.3f},\n\
+         \  \"regime_switches\": {\"disjoint_100\": %d, \"full_100\": %d, \
+          \"random_60\": %d, \"random_90\": %d},\n\
          \  \"ratio_skip_over_list\": {\"longlist_10000\": %.3f}\n\
           }\n"
          threads duration_s
          (String.concat ",\n" rows)
          (ratio "disjoint/100") (ratio "full/100") (ratio "random/60")
          (pratio "disjoint/100") (pratio "full/100") (pratio "random/60")
-         ll_ratio
+         (aratio "disjoint/100") (aratio "full/100") (aratio "random/90")
+         (switches "disjoint/100") (switches "full/100") (switches "random/60")
+         (switches "random/90") ll_ratio
      in
      (match path with
       | "-" -> print_string doc
@@ -1092,6 +1207,25 @@ let smoke cfg =
   else
     say "   longlist gate: skip-rw/list-rw %.2fx at N=%d (> 1.0): ok" ll_ratio
       ll_n;
+  (* Absolute gate for the adaptive frontend: picking a regime per cell
+     must never lose to always-list on the median paired ratio — if it
+     does, the sampling/switching machinery costs more than it buys and
+     the frontend has no reason to exist. *)
+  let a_failed = ref false in
+  List.iter
+    (fun bench ->
+       let r = aratio bench in
+       let ok = r >= 1.0 in
+       if not ok then a_failed := true;
+       say "   adaptive gate: adaptive-rw/list-rw %.2fx on %s (%s 1.0): %s" r
+         bench
+         (if ok then ">=" else "<")
+         (if ok then "ok" else "REGRESSED"))
+    [ "disjoint/100"; "full/100"; "random/90" ];
+  if !a_failed then begin
+    say "   adaptive gate failed";
+    exit 1
+  end;
   (match !gate_path with
    | None -> ()
    | Some file ->
@@ -1105,9 +1239,10 @@ let smoke cfg =
 let all_figures = [ 3; 4; 5; 6; 7; 8 ]
 
 let run figures quick bechamel_only ablation_only verify_only smoke_only
-    longlist_only csv json gate =
+    longlist_only csv json gate regime_trace =
   Runner.init ();
   gate_path := gate;
+  regime_trace_path := regime_trace;
   (match csv with
    | Some dir ->
      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
@@ -1216,11 +1351,19 @@ let gate_arg =
             object in this baseline JSON file and exit non-zero on a >15% \
             regression.")
 
+let regime_trace_arg =
+  Arg.(value & opt (some string) None & info [ "regime-trace" ]
+         ~doc:
+           "With --smoke: write the adaptive frontend's regime-switch event \
+            log (one entry per cell, timestamped switch events with the \
+            wide/narrow window that triggered each) as JSON to this file.")
+
 let cmd =
   let term =
     Term.(
       const run $ figures_arg $ quick_arg $ bechamel_arg $ ablation_arg
-      $ verify_arg $ smoke_arg $ longlist_arg $ csv_arg $ json_arg $ gate_arg)
+      $ verify_arg $ smoke_arg $ longlist_arg $ csv_arg $ json_arg $ gate_arg
+      $ regime_trace_arg)
   in
   Cmd.v
     (Cmd.info "bench"

@@ -486,6 +486,49 @@ struct
       wake_released t node
     end
 
+  (* Deadline-bounded companion to [sub_acquire] (PR 9): the adaptive
+     frontend funnels every timed acquisition through its global list,
+     which needs the unwind-on-timeout machinery of [acquire_opt] without
+     the stats/history bookkeeping the frontend already owns. Same
+     contract as [read/write_acquire_opt]: [None] leaves no residual
+     state behind. *)
+  let sub_acquire_opt t ~reader ~deadline_ns r =
+    let session = G.start None in
+    let rec attempt node =
+      if fast_path_acquire t node then begin
+        Metrics.fast_path_hit t.metrics;
+        Some node
+      end
+      else begin
+        let linked = ref false in
+        N.epoch_enter ();
+        match
+          try_insert t session node (ref 0) ~blocking:true ~deadline_ns
+            ~linked
+        with
+        | () -> N.epoch_leave (); Some node
+        | exception Validation_failed ->
+          N.epoch_leave ();
+          if deadline_ns <> max_int && Clock.now_ns () > deadline_ns then None
+          else attempt (N.alloc ~reader r)
+        | exception Timed_out ->
+          N.epoch_leave ();
+          if !linked then begin
+            mark_deleted node;
+            wake_released t node
+          end
+          else N.retire node;
+          None
+        | exception e -> N.epoch_leave (); raise e
+      end
+    in
+    let result = attempt (N.alloc ~reader r) in
+    G.finish session;
+    (match result with
+     | Some _ -> Metrics.acquisition t.metrics
+     | None -> Metrics.timeout t.metrics);
+    result
+
   let try_acquire_nb t ~reader r =
     let session = G.start None in
     let node = N.alloc ~reader r in

@@ -474,10 +474,138 @@ let skip_recycle =
       in
       { Explore.fibers = [| churner; contender |]; check = oracle_check r })
 
+(* ---- adaptive frontend (PR 9) ---------------------------------------- *)
+
+(* The adaptive core over the recording runtime, composing the same
+   List_rw core instance the other scenarios exercise: shard lists and
+   the global list are full model-checked list locks, and the frontend's
+   res/mode/gcheck handshake interleaves with their insert/validate
+   protocol on every schedule. *)
+module Adaptive_stack
+    (Cfg : sig
+       val pool_target : int
+     end)
+    () =
+struct
+  module S = Stack (Cfg) ()
+
+  module B = struct
+    include S.LRW
+
+    let create ~fast_path () = S.LRW.create ~fast_path ()
+  end
+
+  module AD = Rlk_adaptive.Adaptive_rw_core.Make (Sched.Sim) (B) ()
+end
+
+(* A narrow acquisition racing a sharded->list migration: geometry 2
+   shards x 2 units, a one-shard writer against a two-shard (wide, hence
+   g-routed) writer, with the width sampler tuned to flip the regime on
+   the first wide sample. The overlap [0,2) x [1,4) crosses the narrow/g
+   boundary, so exclusion rests entirely on the publish-then-check
+   handshake — which runs on both sides of the racing regime flip.
+   Arming [adaptive.switch.skip] disables the narrow side's g-check and
+   must yield an overlap counterexample on the schedules where the wide
+   writer is granted first (the adaptive mutation self-test). *)
+let adaptive_switch_race_build () =
+  let module S = Adaptive_stack (struct let pool_target = 4 end) () in
+  let lock =
+    S.AD.create ~shards:2 ~space:4 ~narrow_max:1 ~combine:false
+      ~sample_every:1 ~window:2 ~hi_pct:50 ~lo_pct:0 ()
+  in
+  let r = recorder () in
+  let narrow () =
+    let h = S.AD.write_acquire lock (range 0 2) in
+    let span = acquired r ~lock:"ad" ~mode:Lockstat.Write ~lo:0 ~hi:2 in
+    Sched.note "narrow writer holds [0,2)";
+    Sched.pause ();
+    released r ~lock:"ad" ~mode:Lockstat.Write ~span ~lo:0 ~hi:2;
+    S.AD.release lock h
+  in
+  let wide () =
+    let h = S.AD.write_acquire lock (range 1 4) in
+    let span = acquired r ~lock:"ad" ~mode:Lockstat.Write ~lo:1 ~hi:4 in
+    Sched.note "wide writer holds [1,4)";
+    Sched.pause ();
+    released r ~lock:"ad" ~mode:Lockstat.Write ~span ~lo:1 ~hi:4;
+    S.AD.release lock h
+  in
+  { Explore.fibers = [| narrow; wide |]; check = oracle_check r }
+
+let adaptive_switch_race =
+  scenario "adaptive-switch-race" ~bound:3 ~max_steps:120_000 (fun () ->
+      adaptive_switch_race_build ())
+
+(* The flat-combining hand-off: a holder and an overlapping contender on
+   a single shard. On the schedules where the contender's non-blocking
+   try observes the holder, it publishes a combining request and parks;
+   the holder's release (mark, res/epoch retract, wake) then races the
+   contender's own combiner pass — including the windows where a
+   combiner sits between batch grant and group wake (a parked publishee
+   must still be woken exactly once, never stranded). *)
+let adaptive_combine_handoff =
+  scenario "adaptive-combine-handoff" ~bound:3 ~max_steps:120_000 (fun () ->
+      let module S = Adaptive_stack (struct let pool_target = 4 end) () in
+      let lock = S.AD.create ~shards:1 ~space:4 ~sample_every:0 () in
+      let r = recorder () in
+      let holder () =
+        let h = S.AD.write_acquire lock (range 0 2) in
+        let span = acquired r ~lock:"ad" ~mode:Lockstat.Write ~lo:0 ~hi:2 in
+        Sched.note "holder holds [0,2)";
+        Sched.pause ();
+        released r ~lock:"ad" ~mode:Lockstat.Write ~span ~lo:0 ~hi:2;
+        S.AD.release lock h
+      in
+      let contender () =
+        let h = S.AD.write_acquire lock (range 1 3) in
+        let span = acquired r ~lock:"ad" ~mode:Lockstat.Write ~lo:1 ~hi:3 in
+        Sched.note "contender holds [1,3)";
+        Sched.pause ();
+        released r ~lock:"ad" ~mode:Lockstat.Write ~span ~lo:1 ~hi:3;
+        S.AD.release lock h
+      in
+      { Explore.fibers = [| holder; contender |]; check = oracle_check r })
+
+(* The reader-bias Dekker pair: a narrow writer [0,2) against a wide
+   reader [1,4) eligible for the biased fast path. On the schedules
+   where the reader publishes its slot and loads [w_live] = 0 it is
+   granted with no list presence at all; exclusion over the overlap
+   [1,2) then rests entirely on the writer's slot sweep (raise [w_live],
+   scan, park on [rwait]). The interleavings cover both Dekker outcomes,
+   the retract-and-fallback path, and the release-side wake of a parked
+   sweeping writer. Arming [adaptive.rbias.skip] drops the sweep and
+   must yield an overlap counterexample (the bias mutation self-test). *)
+let adaptive_reader_bias =
+  scenario "adaptive-reader-bias" ~bound:3 ~max_steps:120_000 (fun () ->
+      let module S = Adaptive_stack (struct let pool_target = 4 end) () in
+      let lock =
+        S.AD.create ~shards:2 ~space:4 ~narrow_max:1 ~combine:false
+          ~sample_every:0 ()
+      in
+      let r = recorder () in
+      let writer () =
+        let h = S.AD.write_acquire lock (range 0 2) in
+        let span = acquired r ~lock:"ad" ~mode:Lockstat.Write ~lo:0 ~hi:2 in
+        Sched.note "narrow writer holds [0,2)";
+        Sched.pause ();
+        released r ~lock:"ad" ~mode:Lockstat.Write ~span ~lo:0 ~hi:2;
+        S.AD.release lock h
+      in
+      let reader () =
+        let h = S.AD.read_acquire lock (range 1 4) in
+        let span = acquired r ~lock:"ad" ~mode:Lockstat.Read ~lo:1 ~hi:4 in
+        Sched.note "wide reader holds [1,4)";
+        Sched.pause ();
+        released r ~lock:"ad" ~mode:Lockstat.Read ~span ~lo:1 ~hi:4;
+        S.AD.release lock h
+      in
+      { Explore.fibers = [| writer; reader |]; check = oracle_check r })
+
 let all =
   [ mutex_overlap; mutex_fastpath; mutex_try; mutex_3dom; rw_validate_race;
     rw_writer_pref; rw_fastpath; ebr_recycle; fairgate_escalate;
-    rwlock_basic; park_unpark; skip_validate_race; skip_park; skip_recycle ]
+    rwlock_basic; park_unpark; skip_validate_race; skip_park; skip_recycle;
+    adaptive_switch_race; adaptive_combine_handoff; adaptive_reader_bias ]
 
 (* The scenario the mutation self-test arms [list_rw.w_validate.skip]
    against: with the skip armed the explorer must produce an overlap
@@ -493,6 +621,18 @@ let parker_mutation_target = park_unpark
    window-bounded writer rescan is the last line of defence against a
    reader that linked behind the writer's back. *)
 let skip_mutation_target = skip_validate_race
+
+(* And for [adaptive.switch.skip]: dropping the narrow path's g-conflict
+   check severs the only edge that makes an already-granted g holder
+   visible to a narrow acquirer — the explorer must produce an overlap
+   on the switch-race scenario; pristine code must come back clean. *)
+let adaptive_mutation_target = adaptive_switch_race
+
+(* And for [adaptive.rbias.skip]: dropping the writer's reader-slot
+   sweep severs the only edge that makes a biased fast-path reader
+   visible to a granted writer — the explorer must produce an overlap
+   on the reader-bias scenario; pristine code must come back clean. *)
+let adaptive_rbias_mutation_target = adaptive_reader_bias
 
 let run t =
   Explore.explore ~bound:t.bound ~max_steps:t.max_steps t.scen

@@ -56,6 +56,13 @@ let clamp t i r =
   | Some sub -> sub
   | None -> invalid_arg "Router.clamp: shard does not intersect the range"
 
+(* Cover *count* without materializing the list: the adaptive frontend
+   classifies every acquisition as narrow or wide by this number, so it
+   must stay allocation-free. *)
+let covers t r =
+  let first, last = first_last t r in
+  last - first + 1
+
 let cover t r =
   let first, last = first_last t r in
   List.init (last - first + 1) (fun k ->

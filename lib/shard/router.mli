@@ -29,6 +29,11 @@ val first_last : t -> Rlk.Range.t -> int * int
 (** Indices of the first and last shard covering the range — the
     allocation-free form of {!cover} for the acquisition hot path. *)
 
+val covers : t -> Rlk.Range.t -> int
+(** Number of shards covering the range ([last - first + 1] of
+    {!first_last}) — the adaptive frontend's narrow/wide classifier,
+    allocation-free. *)
+
 val clamp : t -> int -> Rlk.Range.t -> Rlk.Range.t
 (** Intersection of the range with a covering shard's span; raises
     [Invalid_argument] if the shard is not in the range's cover. *)

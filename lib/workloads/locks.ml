@@ -68,7 +68,11 @@ let arrbench_locks : (string * Rlk.Intf.rw_impl) list =
     ("pnova-rw", Rlk_baselines.Segment_rw.impl ~segments:256 ~segment_size:1);
     (* Geometry matches ArrBench: 256 slots, one shard per 32 slots, so a
        disjoint per-thread slice at 8 threads maps 1:1 onto a shard. *)
-    ("shard-rw", Rlk_shard.Shard_rw.impl ~shards:8 ~space:256 ()) ]
+    ("shard-rw", Rlk_shard.Shard_rw.impl ~shards:8 ~space:256 ());
+    (* PR 9: the adaptive frontend, same geometry — sharded regime for
+       narrow-heavy phases, single-list regime for wide-heavy ones,
+       switched online by the width sampler. *)
+    ("adaptive-rw", Rlk_adaptive.Adaptive_rw.impl ~shards:8 ~space:256 ()) ]
 
 let find_arrbench_lock name = List.assoc_opt name arrbench_locks
 

@@ -221,6 +221,135 @@ let skip_mutation () =
   | Explore.Fail v ->
     Alcotest.fail (record_counterexample (t.scen.name ^ " (clean)") v)
 
+(* Fourth mutation, against the adaptive frontend (PR 9): disable the
+   narrow path's g-conflict check ([adaptive.switch.skip]). The check is
+   the only edge making an already-granted g holder visible to a narrow
+   acquirer, so the explorer must produce an overlap counterexample on
+   the switch-race scenario, the counterexample must replay from its
+   seed (or deviation list), and pristine code must come back clean. *)
+let adaptive_mutation () =
+  let t = Scenarios.adaptive_mutation_target in
+  Fault.arm
+    (Fault.plan ~p:1.0 ~cas_fail_p:0.0 ~relax_spins:0 ~yield_every:0
+       ~delay_ns:0
+       ~unsound:[ "adaptive.switch.skip" ]
+       ~only:[ "adaptive.switch" ] ~seed:909 ());
+  let v =
+    Fun.protect ~finally:Fault.disarm (fun () ->
+        match Scenarios.run t with
+        | Explore.Pass { executions } ->
+          Alcotest.failf
+            "adaptive g-check disabled but %d explored schedules all \
+             passed —\n\
+             the checker is not observing the cross-regime handshake"
+            executions
+        | Explore.Fail v ->
+          (match v.kind with
+          | Explore.Check _ -> ()
+          | k ->
+            Alcotest.failf "expected an oracle overlap, got: %s"
+              (Format.asprintf "%a" Explore.pp_failure_kind k));
+          Printf.printf
+            "adaptive mutation counterexample found after %d schedule(s) \
+             (expected):\n\
+             %s\n\
+             %!"
+            v.executions
+            (Explore.violation_to_string t.scen.name v);
+          (match v.seed with
+          | Some seed -> (
+            match Explore.replay ~max_steps:t.max_steps t.scen ~seed with
+            | Explore.Fail { kind = Explore.Check _; _ } -> ()
+            | Explore.Fail { kind; _ } ->
+              Alcotest.failf "seed %d replayed to a different failure: %s"
+                seed
+                (Format.asprintf "%a" Explore.pp_failure_kind kind)
+            | Explore.Pass _ ->
+              Alcotest.failf "seed %d did not reproduce the counterexample"
+                seed)
+          | None -> (
+            match
+              Explore.run_deviations ~max_steps:t.max_steps t.scen
+                v.deviations
+            with
+            | Some (Explore.Check _) -> ()
+            | _ ->
+              Alcotest.fail
+                "deviation list did not reproduce the counterexample"));
+          v)
+  in
+  ignore v;
+  (* Pristine code: the same exploration must be violation-free. *)
+  match Scenarios.run t with
+  | Explore.Pass _ -> ()
+  | Explore.Fail v ->
+    Alcotest.fail (record_counterexample (t.scen.name ^ " (clean)") v)
+
+(* Fifth mutation, against the reader-bias handshake (PR 9): disable the
+   writer's reader-slot sweep ([adaptive.rbias.skip]). The sweep is the
+   only edge making a biased fast-path reader — which holds no list node
+   anywhere — visible to a granted writer, so the explorer must produce
+   an overlap counterexample on the reader-bias scenario, replayable
+   from its seed (or deviation list), and pristine code must come back
+   clean. *)
+let adaptive_rbias_mutation () =
+  let t = Scenarios.adaptive_rbias_mutation_target in
+  Fault.arm
+    (Fault.plan ~p:1.0 ~cas_fail_p:0.0 ~relax_spins:0 ~yield_every:0
+       ~delay_ns:0
+       ~unsound:[ "adaptive.rbias.skip" ]
+       ~only:[ "adaptive.rbias" ] ~seed:911 ());
+  let v =
+    Fun.protect ~finally:Fault.disarm (fun () ->
+        match Scenarios.run t with
+        | Explore.Pass { executions } ->
+          Alcotest.failf
+            "adaptive reader-slot sweep disabled but %d explored schedules \
+             all passed —\n\
+             the checker is not observing the bias handshake"
+            executions
+        | Explore.Fail v ->
+          (match v.kind with
+          | Explore.Check _ -> ()
+          | k ->
+            Alcotest.failf "expected an oracle overlap, got: %s"
+              (Format.asprintf "%a" Explore.pp_failure_kind k));
+          Printf.printf
+            "adaptive rbias mutation counterexample found after %d \
+             schedule(s) (expected):\n\
+             %s\n\
+             %!"
+            v.executions
+            (Explore.violation_to_string t.scen.name v);
+          (match v.seed with
+          | Some seed -> (
+            match Explore.replay ~max_steps:t.max_steps t.scen ~seed with
+            | Explore.Fail { kind = Explore.Check _; _ } -> ()
+            | Explore.Fail { kind; _ } ->
+              Alcotest.failf "seed %d replayed to a different failure: %s"
+                seed
+                (Format.asprintf "%a" Explore.pp_failure_kind kind)
+            | Explore.Pass _ ->
+              Alcotest.failf "seed %d did not reproduce the counterexample"
+                seed)
+          | None -> (
+            match
+              Explore.run_deviations ~max_steps:t.max_steps t.scen
+                v.deviations
+            with
+            | Some (Explore.Check _) -> ()
+            | _ ->
+              Alcotest.fail
+                "deviation list did not reproduce the counterexample"));
+          v)
+  in
+  ignore v;
+  (* Pristine code: the same exploration must be violation-free. *)
+  match Scenarios.run t with
+  | Explore.Pass _ -> ()
+  | Explore.Fail v ->
+    Alcotest.fail (record_counterexample (t.scen.name ^ " (clean)") v)
+
 let () =
   let scens =
     List.filter (fun t -> full || not t.Scenarios.full_only) Scenarios.all
@@ -241,4 +370,8 @@ let () =
           Alcotest.test_case "parker-wake-skip counterexample" `Quick
             parker_mutation;
           Alcotest.test_case "skip-rw w_validate-skip counterexample" `Quick
-            skip_mutation ] ) ]
+            skip_mutation;
+          Alcotest.test_case "adaptive switch-skip counterexample" `Quick
+            adaptive_mutation;
+          Alcotest.test_case "adaptive rbias-skip counterexample" `Quick
+            adaptive_rbias_mutation ] ) ]

@@ -526,7 +526,9 @@ let () =
          Alcotest.test_case "stress" `Quick test_segment_stress ]);
       ("interval-skiplist",
        [ Alcotest.test_case "basics" `Quick test_iskip_basic;
-         QCheck_alcotest.to_alcotest ~long:false prop_iskip_matches_naive ]);
+         QCheck_alcotest.to_alcotest ~long:false
+           ~rand:(Stress_helpers.qcheck_rand ())
+           prop_iskip_matches_naive ]);
       ("vee-rw",
        [ Alcotest.test_case "sequential semantics" `Quick test_vee_sequential;
          Alcotest.test_case "stress" `Quick test_vee_stress ]);

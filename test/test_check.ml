@@ -301,6 +301,7 @@ let conformance_impls : (string * Intf.rw_impl * bool * bool * bool) list =
     ("kernel-rw", arr "kernel-rw", true, true, true);
     ("pnova-rw", arr "pnova-rw", true, true, true);
     ("shard-rw", arr "shard-rw", true, true, true);
+    ("adaptive-rw", arr "adaptive-rw", true, true, true);
     ("vee-rw", Rlk_workloads.Locks.vee_rw_impl, true, true, true);
     ( "list-rw+wpref",
       Rlk_workloads.Locks.list_rw_writer_pref_impl,

@@ -228,7 +228,13 @@ let test_multi_domain_exclusion () =
   | Error msg -> Alcotest.fail msg
 
 let qsuite name tests =
-  (name, List.map (QCheck_alcotest.to_alcotest ~long:false ~rand:(Stress_helpers.qcheck_rand ())) tests)
+  Printf.printf "%s qcheck suite: seed %d (override with RLK_SEED)\n%!" name
+    Stress_helpers.base_seed;
+  ( name,
+    List.map
+      (QCheck_alcotest.to_alcotest ~long:false
+         ~rand:(Stress_helpers.qcheck_rand ()))
+      tests )
 
 let () =
   Alcotest.run "shard"

@@ -242,7 +242,9 @@ let () =
            test_resize_preserves_contents;
          Alcotest.test_case "rejects silly sizes" `Quick test_rejects_silly_sizes ]);
       ("hashtable-property",
-       [ QCheck_alcotest.to_alcotest ~long:false prop_matches_hashtbl ]);
+       [ QCheck_alcotest.to_alcotest ~long:false
+           ~rand:(Stress_helpers.qcheck_rand ())
+           prop_matches_hashtbl ]);
       ("hashtable-concurrent",
        [ Alcotest.test_case "disjoint keys, strict transitions" `Quick
            test_concurrent_disjoint_keys;
@@ -252,7 +254,9 @@ let () =
        [ Alcotest.test_case "basics and revival" `Quick test_bst_basic;
          Alcotest.test_case "compaction" `Quick test_bst_compact ]);
       ("bst-property",
-       [ QCheck_alcotest.to_alcotest ~long:false prop_bst_matches_set ]);
+       [ QCheck_alcotest.to_alcotest ~long:false
+           ~rand:(Stress_helpers.qcheck_rand ())
+           prop_bst_matches_set ]);
       ("bst-concurrent",
        [ Alcotest.test_case "updates race a compactor" `Quick
            test_bst_concurrent_with_compaction ]) ]

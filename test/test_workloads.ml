@@ -71,10 +71,12 @@ let test_series_validates () =
 (* ---------------- Locks registry ---------------- *)
 
 let test_lock_registry () =
-  Alcotest.(check int) "eight arrbench locks" 8
+  Alcotest.(check int) "nine arrbench locks" 9
     (List.length Locks.arrbench_locks);
   Alcotest.(check bool) "spin ablation registered" true
     (Locks.find_arrbench_lock "list-rw-spin" <> None);
+  Alcotest.(check bool) "adaptive frontend registered" true
+    (Locks.find_arrbench_lock "adaptive-rw" <> None);
   Alcotest.(check bool) "skip index registered" true
     (Locks.find_arrbench_lock "skip-rw" <> None);
   Alcotest.(check bool) "shard lookup hit" true
