@@ -182,11 +182,6 @@ module Make (Sim : Traced_atomic.SIM) (B : BACKEND) () = struct
     reqs : req array;  (** indexed by [Sim.domain_id], like waitq slots *)
     rhigh : int Sim.A.t;  (** exclusive watermark over published slots *)
     npending : int Sim.A.t;
-    wpend : int Sim.A.t;
-        (** pending write requests — the writer-preference hint: while
-            nonzero, readers skip try-first and queue through the
-            combiner, so the holder set drains and the writer's try can
-            land instead of being overtaken by a continuous read stream *)
     rel_epoch : int Sim.A.t;
         (** bumped by every release touching this shard; lets a combiner
             that granted nothing tell "nothing changed" (exit silently)
@@ -194,12 +189,20 @@ module Make (Sim : Traced_atomic.SIM) (B : BACKEND) () = struct
     cwait : W.t;
   }
 
-  (* Biased-reader slot, one per domain id. [rseq] is a per-slot seqlock:
-     odd = published, even = empty. The owning domain writes [b_lo]/[b_hi]
-     and flips [rseq] odd to publish; whoever releases the handle flips it
-     even (the owner cannot republish in between — its slot reads odd, so
-     a nested read takes the list path). A sweeping writer reads the range
-     only under an odd [rseq] that is unchanged across the reads. *)
+  (* Biased-reader slot. [rseq]'s low two bits are the slot state — 0
+     free, 1 claimed (fields being written), 2 published — and every
+     claim advances the upper bits (a generation), so a sweeping
+     writer's re-read detects any transition. Slots are a fixed pool
+     indexed by [domain_id mod pool-size], so two live domains can alias
+     one slot: the claim is therefore a CAS (free -> claimed, the
+     {!Waitq_core.slot.active} protocol) and the loser falls back to the
+     list path instead of publishing over the winner's range. Between
+     claim and publish only the claimant writes [b_lo]/[b_hi], and only
+     it moves the slot back to free (retract or release, always
+     advancing the generation); a nested read from the owning domain
+     finds its own slot non-free and takes the list path. A sweeping
+     writer trusts the range only under a published [rseq] that is
+     unchanged across the reads. *)
   type rslot = {
     rseq : int Sim.A.t;
     mutable b_lo : int;
@@ -264,8 +267,10 @@ module Make (Sim : Traced_atomic.SIM) (B : BACKEND) () = struct
      leaving whole runs with the bias dormant. *)
   let rcool_cap = 512
 
-  (* Size of the biased reader slot pool (and so the writer sweep). *)
-  let rslot_count = min Sim.capacity 16
+  (* Default size of the biased reader slot pool (and so the writer
+     sweep); [create ?rslot_count] overrides it — tests force 1 so every
+     domain aliases one slot and the claim protocol is exercised. *)
+  let rslot_default = min Sim.capacity 16
 
   type t = {
     router : Router.t;
@@ -288,13 +293,14 @@ module Make (Sim : Traced_atomic.SIM) (B : BACKEND) () = struct
             single-load check. Raised before the writer's slot sweep,
             dropped only after the writer's nodes are marked. *)
     rslots : rslot array;
-        (** indexed by [Sim.domain_id mod rslot_count]. Domain ids are
-            global monotonically-allocated names (mod capacity), so a
-            long-lived process that keeps spawning domains would push a
-            raw-id watermark — and with it the writer sweep — toward
-            [capacity] cache lines per write acquire. Hashing into a
-            small fixed pool bounds the sweep; a collision just reads as
-            slot-busy and falls back to the list path. *)
+        (** indexed by [Sim.domain_id mod Array.length rslots]. Domain
+            ids are global monotonically-allocated names (mod capacity),
+            so a long-lived process that keeps spawning domains would
+            push a raw-id watermark — and with it the writer sweep —
+            toward [capacity] cache lines per write acquire. Hashing
+            into a small fixed pool bounds the sweep; aliased domains
+            race the claim CAS and the loser falls back to the list
+            path (see {!rslot}). *)
     rhiwat : int Sim.A.t;
         (** exclusive watermark over reader slots ever published — bounds
             the writer sweep to slots that actually ran *)
@@ -324,8 +330,10 @@ module Make (Sim : Traced_atomic.SIM) (B : BACKEND) () = struct
 
   let create ?stats ?(shards = 8) ?(space = 1 lsl 16) ?narrow_max
       ?(fast_path = true) ?(combine = true) ?(rbias = true)
-      ?(sample_every = 32) ?(window = 64) ?(hi_pct = 30) ?(lo_pct = 10) () =
+      ?(rslot_count = rslot_default) ?(sample_every = 32) ?(window = 64)
+      ?(hi_pct = 30) ?(lo_pct = 10) () =
     let router = Router.create ~shards ~space in
+    let rslot_count = max 1 rslot_count in
     let narrow_max =
       match narrow_max with Some n -> max 1 n | None -> max 1 (shards / 4)
     in
@@ -342,7 +350,6 @@ module Make (Sim : Traced_atomic.SIM) (B : BACKEND) () = struct
                     r_handle = None });
           rhigh = Sim.A.make 0;
           npending = Sim.A.make_contended 0;
-          wpend = Sim.A.make_contended 0;
           rel_epoch = Sim.A.make_contended 0;
           cwait = W.create () }
     in
@@ -408,14 +415,11 @@ module Make (Sim : Traced_atomic.SIM) (B : BACKEND) () = struct
   let switch_count t = Atomic.get t.switches
 
   let record_switch t ~to_list ~wide ~narrow =
-    Atomic.incr t.switches;
+    (* The logged epoch is the fetch_and_add return, not a separate
+       re-read: two concurrent flips must log distinct ordinals. *)
+    let epoch = 1 + Atomic.fetch_and_add t.switches 1 in
     if Atomic.get trace_enabled then
-      trace_push
-        { at_ns = Clock.now_ns ();
-          epoch = Atomic.get t.switches;
-          to_list;
-          wide;
-          narrow }
+      trace_push { at_ns = Clock.now_ns (); epoch; to_list; wide; narrow }
 
   (* Flip the routing hint to [r] (testing/forcing knob — safe at any
      point, since routing never carries exclusion). *)
@@ -552,14 +556,22 @@ module Make (Sim : Traced_atomic.SIM) (B : BACKEND) () = struct
       None
     end
     else
-    let me = Sim.domain_id () mod rslot_count in
+    let me = Sim.domain_id () mod Array.length t.rslots in
     let s = t.rslots.(me) in
     let v = Sim.A.get s.rseq in
-    if v land 1 = 1 then None (* slot held by a handed-off/nested read *)
+    if v land 3 <> 0 then
+      (* Slot held: a nested read from this domain, or an aliased
+         domain's live publication. List path. *)
+      None
+    else if not (Sim.A.compare_and_set s.rseq v (v + 1)) then
+      (* Lost the claim race to an aliased domain — publishing anyway
+         would overwrite its range (and double-free the slot on
+         release). List path. *)
+      None
     else begin
       s.b_lo <- Range.lo r;
       s.b_hi <- Range.hi r;
-      Sim.A.set s.rseq (v + 1);
+      Sim.A.set s.rseq (v + 2);
       let rec hiwat () =
         let h = Sim.A.get t.rhiwat in
         if me >= h && not (Sim.A.compare_and_set t.rhiwat h (me + 1)) then
@@ -572,10 +584,11 @@ module Make (Sim : Traced_atomic.SIM) (B : BACKEND) () = struct
         Some (mk t ~reader:true (Fast me) no_sub)
       end
       else begin
-        (* Retract — and wake, exactly like a release: a sweeping writer
-           may already have parked on this slot's just-published range,
-           and nobody else will re-enable it. *)
-        Sim.A.set s.rseq (v + 2);
+        (* Retract — free the slot (next generation) and wake, exactly
+           like a release: a sweeping writer may already have parked on
+           this slot's just-published range, and nobody else will
+           re-enable it. *)
+        Sim.A.set s.rseq (v + 4);
         ignore (W.wake_overlap t.rwait ~lo:(Range.lo r) ~hi:(Range.hi r));
         d.r_cool <- d.r_back;
         d.r_back <- min (d.r_back * 2) rcool_cap;
@@ -584,10 +597,12 @@ module Make (Sim : Traced_atomic.SIM) (B : BACKEND) () = struct
     end
 
   (* The writer's half: scan the published slots for an overlap. Per-slot
-     seqlock read: the range is only trusted under an odd [rseq] that is
-     unchanged across the reads; a slot that flips mid-read is re-read. A
-     slot read even can be skipped outright — any later publication in it
-     must load [w_live] after our increment (seq-cst) and retract. The
+     seqlock read: the range is only trusted under a published [rseq]
+     that is unchanged across the reads; a slot that moves mid-read is
+     re-read. A slot read free or claimed can be skipped outright — its
+     next (or in-flight) publication must load [w_live] after our
+     increment (seq-cst: the publish store precedes that load, and we
+     read the slot before the publish) and retract. The
      [adaptive.rbias.skip] chaos point disables exactly this sweep (the
      model checker's mutation self-test for the bias handshake). *)
   let rbias_clear t ~lo ~hi =
@@ -600,7 +615,7 @@ module Make (Sim : Traced_atomic.SIM) (B : BACKEND) () = struct
       let s = t.rslots.(!i) in
       let rec slot_clear () =
         let v = Sim.A.get s.rseq in
-        v land 1 = 0
+        v land 3 <> 2
         ||
         let slo = s.b_lo and shi = s.b_hi in
         if Sim.A.get s.rseq <> v then slot_clear ()
@@ -695,7 +710,6 @@ module Make (Sim : Traced_atomic.SIM) (B : BACKEND) () = struct
             q.r_handle <- Some h;
             if Atomic.get Fault.enabled then Fault.delay fp_combine;
             ignore (Sim.A.fetch_and_add c.npending (-1));
-            if not q.r_reader then ignore (Sim.A.fetch_and_add c.wpend (-1));
             Sim.A.set q.state granted;
             granted_any := true;
             if j <> me then begin
@@ -706,9 +720,11 @@ module Make (Sim : Traced_atomic.SIM) (B : BACKEND) () = struct
         end
       done
     in
-    (* Writes first: a pending write is what parked the reader batch
-       behind the combiner in the first place (see [wpend]); granting
-       reads ahead of it would re-open the overtaking stream. *)
+    (* Writes first: granting reads ahead of a batched write would let
+       the read stream overtake it within the pass. This ordering is the
+       half of writer preference that measured well; the reader-side
+       try-gate did not and was dropped (doc/perf.md, "measured and
+       rejected"). *)
     serve ~readers:false;
     serve ~readers:true;
     !granted_any
@@ -765,12 +781,13 @@ module Make (Sim : Traced_atomic.SIM) (B : BACKEND) () = struct
        B.sub_release t.g gh;
        combine_handoff t.gcomb ~lo:(Range.lo r) ~hi:(Range.hi r)
      | Fast i ->
-       (* Clear the slot (flip even), then wake writers parked on the
-          released range. Only the releaser may write [rseq] while it is
-          odd, so a plain bump is race-free. *)
+       (* Free the slot (published -> free, next generation), then wake
+          writers parked on the released range. Only the granted owner
+          may write [rseq] while the slot is published — an aliased
+          claim needs it free — so a plain bump is race-free. *)
        let s = t.rslots.(i) in
        let lo = s.b_lo and hi = s.b_hi in
-       Sim.A.set s.rseq (Sim.A.get s.rseq + 1);
+       Sim.A.set s.rseq (Sim.A.get s.rseq + 2);
        ignore (W.wake_overlap t.rwait ~lo ~hi)
      | Free -> invalid_arg "Adaptive_rw.release: handle already released");
     if (not h.reader) && t.rbias then w_down t;
@@ -812,7 +829,6 @@ module Make (Sim : Traced_atomic.SIM) (B : BACKEND) () = struct
       in
       bump_high ();
       ignore (Sim.A.fetch_and_add c.npending 1);
-      if not reader then ignore (Sim.A.fetch_and_add c.wpend 1);
       Sim.A.set q.state pending;
       let pred () =
         if Sim.A.get q.state = granted then true
@@ -1146,7 +1162,7 @@ module Make (Sim : Traced_atomic.SIM) (B : BACKEND) () = struct
     let n = Sim.A.get t.rhiwat in
     for i = 0 to n - 1 do
       let s = t.rslots.(i) in
-      if Sim.A.get s.rseq land 1 = 1 then
+      if Sim.A.get s.rseq land 3 = 2 then
         acc := (Range.v ~lo:s.b_lo ~hi:s.b_hi, `Reader) :: !acc
     done;
     !acc

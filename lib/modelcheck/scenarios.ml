@@ -601,11 +601,49 @@ let adaptive_reader_bias =
       in
       { Explore.fibers = [| writer; reader |]; check = oracle_check r })
 
+(* Slot aliasing on the biased-reader pool: [rslot_count:1] pins every
+   fiber onto one slot, so the two readers race free -> claimed ->
+   published on the same [rseq]. The claim CAS must let exactly one
+   publish — the loser takes the list path — and retract/release must
+   recycle the slot without leaving a phantom publication. (With the
+   pre-CAS check-then-set publication both readers could publish over
+   each other: the writer's sweep then read only the survivor's range
+   and was granted over the other fast reader, and the double release
+   left [rseq] in the published state forever — a phantom reader
+   parking every later overlapping writer.) *)
+let adaptive_rbias_alias =
+  scenario "adaptive-rbias-alias" ~bound:3 ~max_steps:200_000 (fun () ->
+      let module S = Adaptive_stack (struct let pool_target = 4 end) () in
+      let lock =
+        S.AD.create ~shards:1 ~space:4 ~combine:false ~sample_every:0
+          ~rslot_count:1 ()
+      in
+      let r = recorder () in
+      let reader lo hi () =
+        let h = S.AD.read_acquire lock (range lo hi) in
+        let span = acquired r ~lock:"ad" ~mode:Lockstat.Read ~lo ~hi in
+        Sched.note (Printf.sprintf "reader holds [%d,%d)" lo hi);
+        Sched.pause ();
+        released r ~lock:"ad" ~mode:Lockstat.Read ~span ~lo ~hi;
+        S.AD.release lock h
+      in
+      let writer () =
+        let h = S.AD.write_acquire lock (range 0 2) in
+        let span = acquired r ~lock:"ad" ~mode:Lockstat.Write ~lo:0 ~hi:2 in
+        Sched.note "writer holds [0,2)";
+        Sched.pause ();
+        released r ~lock:"ad" ~mode:Lockstat.Write ~span ~lo:0 ~hi:2;
+        S.AD.release lock h
+      in
+      { Explore.fibers = [| reader 0 2; reader 2 4; writer |];
+        check = oracle_check r })
+
 let all =
   [ mutex_overlap; mutex_fastpath; mutex_try; mutex_3dom; rw_validate_race;
     rw_writer_pref; rw_fastpath; ebr_recycle; fairgate_escalate;
     rwlock_basic; park_unpark; skip_validate_race; skip_park; skip_recycle;
-    adaptive_switch_race; adaptive_combine_handoff; adaptive_reader_bias ]
+    adaptive_switch_race; adaptive_combine_handoff; adaptive_reader_bias;
+    adaptive_rbias_alias ]
 
 (* The scenario the mutation self-test arms [list_rw.w_validate.skip]
    against: with the skip armed the explorer must produce an overlap

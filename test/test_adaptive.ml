@@ -248,6 +248,61 @@ let test_reader_bias_blocking_writer () =
   Alcotest.(check bool) "writer granted after the release" true
     (Atomic.get granted)
 
+let test_reader_bias_aliased_slot () =
+  (* [rslot_count:1] pins every domain onto one biased-reader slot. The
+     claim CAS must let exactly one domain publish; the alias loses the
+     claim and falls back to the list path (still granted, not fast),
+     and the writer sweep keeps seeing the winner's real range. *)
+  let t = A.create ~shards:4 ~space:64 ~sample_every:0 ~rslot_count:1 () in
+  let hold = Atomic.make true in
+  let held = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        let h = A.read_acquire t (range 0 16) in
+        Atomic.set held true;
+        while Atomic.get hold do
+          Domain.cpu_relax ()
+        done;
+        A.release t h)
+  in
+  spin_until "fast reader holds" (fun () -> Atomic.get held);
+  Alcotest.(check int) "holder went fast" 1 (A.snapshot t).A.s_fast_reads;
+  (* This domain aliases the held slot: its biased try must lose and
+     divert to the list path. *)
+  let hr = A.read_acquire t (range 32 48) in
+  Alcotest.(check int) "aliased reader not fast" 1
+    (A.snapshot t).A.s_fast_reads;
+  (* The slot still carries the holder's range, not the alias's: writes
+     overlapping either reader are refused (slot sweep and list
+     respectively), a disjoint one grants. *)
+  Alcotest.(check bool) "overlap with fast holder refused" true
+    (A.try_write_acquire t (range 8 12) = None);
+  Alcotest.(check bool) "overlap with list-path reader refused" true
+    (A.try_write_acquire t (range 40 44) = None);
+  (match A.try_write_acquire t (range 20 28) with
+   | Some h -> A.release t h
+   | None -> Alcotest.fail "disjoint write must grant past the slot");
+  A.release t hr;
+  Atomic.set hold false;
+  Domain.join d;
+  (* The slot recycled cleanly — no phantom publication left behind to
+     park this writer forever. *)
+  let h = A.write_acquire t (range 0 64) in
+  A.release t h
+
+let test_aliased_slot_stress () =
+  (* Same pinning under the ArrBench occupancy checker: 4 domains
+     hammer one slot with claim/retract/release while writers sweep —
+     the claim protocol must preserve exclusion throughout. *)
+  let lock = A.impl ~shards:4 ~space:256 ~rslot_count:1 () in
+  match
+    Rlk_workloads.Arrbench.self_check ~lock
+      ~variant:Rlk_workloads.Arrbench.Random ~threads:4 ~read_pct:80
+      ~duration_s:0.2
+  with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg
+
 (* ---- multi-domain exclusion (the ArrBench occupancy checker) ---- *)
 
 let test_multi_domain_exclusion () =
@@ -435,7 +490,11 @@ let () =
           Alcotest.test_case "rbias:false keeps the list path" `Quick
             test_reader_bias_disabled;
           Alcotest.test_case "blocking writer parks on a fast reader"
-            `Quick test_reader_bias_blocking_writer ] );
+            `Quick test_reader_bias_blocking_writer;
+          Alcotest.test_case "aliased slot loses the claim CAS" `Quick
+            test_reader_bias_aliased_slot;
+          Alcotest.test_case "aliased-slot random stress" `Quick
+            test_aliased_slot_stress ] );
       ( "exclusion",
         [ Alcotest.test_case "multi-domain random self-check" `Quick
             test_multi_domain_exclusion ] );
